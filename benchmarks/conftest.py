@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+The benchmark suite regenerates every table and figure of the paper on
+the full 7680-element mesh.  All artifacts project the same ~50
+simulated runs, which are cached in memory and on disk
+(``.repro_cache/``), so the first invocation simulates (~10 minutes) and
+subsequent ones re-render in seconds.
+
+Set ``REPRO_MESH=quick`` to run the suite on the 960-element mesh
+instead (faster, same qualitative shapes except where noted).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import FULL_MESH, QUICK_MESH
+from repro.experiments.runner import Session
+
+
+@pytest.fixture(scope="session")
+def session() -> Session:
+    dims = QUICK_MESH if os.environ.get("REPRO_MESH") == "quick" else FULL_MESH
+    return Session(mesh_dims=dims, verbose=True)

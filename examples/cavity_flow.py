@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A complete CFD step: assembly + algebraic solve (the two halves the
+paper names in §2.3), iterated as a short pseudo-time simulation.
+
+The mini-app assembles the stabilized momentum operator and right-hand
+sides on a lid-driven-cavity-like box; the CSR + BiCGSTAB substrate then
+solves for the velocity update of each component, and the nodal unknowns
+are advanced.  This exercises the *numerical* path of the library
+end-to-end (mesh -> gather -> element integrals -> scatter -> Krylov
+solve -> field update), independent of the performance model.
+
+Run:  python examples/cavity_flow.py
+"""
+
+import numpy as np
+
+from repro.cfd import MiniApp, bicgstab, box_mesh, jacobi_preconditioner, spmv
+from repro.cfd.elements import NDIME
+
+
+def lid_velocity(coord: np.ndarray) -> np.ndarray:
+    """Unit x-velocity on the top face (z = max), zero elsewhere."""
+    u = np.zeros((coord.shape[0], NDIME))
+    top = coord[:, 2] >= coord[:, 2].max() - 1e-12
+    u[top, 0] = 1.0
+    return u
+
+
+def main() -> None:
+    mesh = box_mesh(6, 6, 6)
+    print(f"cavity mesh: {mesh.nelem} elements, {mesh.npoin} nodes")
+
+    n_steps = 3
+    relax = 0.5
+    app = MiniApp(mesh, vector_size=27, opt="vec1")
+    lid = lid_velocity(mesh.coord)
+    fields = app.global_float_data()
+    unkno = fields["unkno"].copy()
+    unkno_old = fields["unkno_old"].copy()
+
+    for step in range(1, n_steps + 1):
+        system = app.run_numeric(
+            field_overrides={"unkno": unkno, "unkno_old": unkno_old})
+        pattern, A = system.pattern, system.amatr.copy()
+        # time-derivative mass lump on the diagonal keeps the operator
+        # well conditioned (dtinv from the mini-app parameters)
+        rows = pattern.row_of_entry()
+        A[rows == pattern.indices] += app.context.params["dtinv"] * 0.05
+
+        M = jacobi_preconditioner(pattern, A)
+        du = np.zeros((mesh.npoin, NDIME))
+        its = []
+        for d in range(NDIME):
+            res = bicgstab(pattern, A, system.rhsid[:, d], tol=1e-8,
+                           maxiter=500, precond=M)
+            assert res.converged, f"solver stalled on component {d}"
+            du[:, d] = res.x
+            its.append(res.iterations)
+
+        # advance the velocity field (with the lid as a Dirichlet-like
+        # forcing); the next assembly gathers the updated unknowns
+        unkno_old = unkno[:, :NDIME].copy()
+        unkno[:, :NDIME] += relax * du + 0.1 * lid
+        print(f"step {step}: bicgstab iterations per component {its}, "
+              f"|du| = {np.linalg.norm(du):.3e}, "
+              f"max |u| = {np.abs(unkno[:, :NDIME]).max():.3e}")
+
+    # final sanity: the assembled operator maps the solution back to the RHS
+    check = spmv(pattern, A, du[:, 0])
+    err = np.linalg.norm(check - system.rhsid[:, 0]) / np.linalg.norm(
+        system.rhsid[:, 0])
+    print(f"\nfinal residual check |A du - b| / |b| = {err:.2e}")
+    print("assembly + solver substrate: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+that lack the ``wheel`` package (PEP 517 editable builds need bdist_wheel).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""repro -- reproduction of "Exploiting long vectors with a CFD code:
+a co-design show case" (Blancafort et al., IPPS 2024).
+
+The package simulates the paper's entire stack in Python:
+
+* :mod:`repro.isa` -- the RVV-like vector instruction model;
+* :mod:`repro.machine` -- cycle-accounting machine models (RISC-V VEC
+  prototype, NEC SX-Aurora, Intel AVX-512) with line-accurate caches;
+* :mod:`repro.compiler` -- a loop-nest IR and an auto-vectorizing
+  compiler model with LLVM-like legality/cost behaviour and remarks;
+* :mod:`repro.cfd` -- the Alya-like Navier-Stokes assembly mini-app
+  (mesh, elements, the eight instrumented phases, CSR + Krylov solver);
+* :mod:`repro.metrics` -- the paper's §2.2 metrics and Table-6
+  regression;
+* :mod:`repro.trace` -- Extrae/Vehave/Paraver-style tracing;
+* :mod:`repro.experiments` -- the harness regenerating every table and
+  figure of the evaluation.
+
+Quickstart::
+
+    from repro.cfd import MiniApp, box_mesh
+    from repro.machine import RISCV_VEC
+
+    app = MiniApp(box_mesh(8, 8, 15), vector_size=240, opt="vec1")
+    counters = app.run_timed(RISCV_VEC)
+    print(counters.total_cycles)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

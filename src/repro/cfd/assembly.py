@@ -1,0 +1,191 @@
+"""Mini-app driver: chunked Navier-Stokes assembly, timed or numeric.
+
+``MiniApp`` binds everything together for one configuration
+(mesh, VECTOR_SIZE, optimization level):
+
+* builds the IR kernels for the requested optimization level, runs the
+  auto-vectorizer, and lowers them to machine programs;
+* ``run_timed(machine)`` executes the compiled program chunk by chunk on
+  a machine model, returning the per-phase hardware counters the paper's
+  tables and figures are computed from;
+* ``run_numeric()`` executes the NumPy reference semantics, producing
+  the assembled global RHS and CSR matrix (the input to the algebraic
+  solver substrate);
+* ``run_interpreted()`` executes the IR through the reference
+  interpreter -- slow, used by the tests to pin IR semantics to the
+  NumPy reference on small meshes.
+
+Optimization levels are cumulative, in paper order:
+``scalar`` (vectorization disabled) -> ``vanilla`` (auto-vectorization)
+-> ``vec2`` -> ``ivec2`` -> ``vec1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cfd.csr import CSRPattern, build_pattern
+from repro.cfd.fields import make_global_fields
+from repro.cfd.kernel_context import MiniAppContext
+from repro.cfd.mesh import Mesh
+from repro.cfd.phases import KernelConfig, build_kernels
+from repro.cfd.reference import run_reference_chunk
+from repro.compiler.codegen import lower_kernel
+from repro.compiler.flags import PAPER_FLAGS, SCALAR_FLAGS, CompilerFlags
+from repro.compiler.interpreter import Interpreter
+from repro.compiler.program import CompiledKernel
+from repro.compiler.vectorizer import VecRemark, vectorize_kernel
+from repro.machine.cpu import Machine
+from repro.machine.params import MachineParams
+from repro.metrics.counters import RunCounters
+
+#: optimization levels in cumulative paper order.
+OPT_LEVELS = ("scalar", "vanilla", "vec2", "ivec2", "vec1")
+
+
+def kernel_config_for(opt: str, vector_size: int) -> KernelConfig:
+    """Map an optimization level to the code-transformation switches."""
+    if opt not in OPT_LEVELS:
+        raise ValueError(f"unknown optimization level {opt!r}; known: {OPT_LEVELS}")
+    return KernelConfig(
+        vector_size=vector_size,
+        phase2_const_bound=opt in ("vec2", "ivec2", "vec1"),
+        phase2_interchanged=opt in ("ivec2", "vec1"),
+        phase1_fissioned=opt == "vec1",
+    )
+
+
+@dataclass
+class AssembledSystem:
+    """Output of the numeric assembly."""
+
+    pattern: CSRPattern
+    amatr: np.ndarray       # CSR values
+    rhsid: np.ndarray       # (npoin, ndofn)
+
+
+class MiniApp:
+    """One mini-app configuration, compiled and ready to run."""
+
+    def __init__(self, mesh: Mesh, vector_size: int, opt: str = "vanilla",
+                 flags: Optional[CompilerFlags] = None,
+                 params: Optional[dict[str, float]] = None,
+                 field_seed: int = 0):
+        self.mesh = mesh
+        self.vector_size = vector_size
+        self.opt = opt
+        self.config = kernel_config_for(opt, vector_size)
+        if flags is None:
+            flags = SCALAR_FLAGS if opt == "scalar" else PAPER_FLAGS
+        self.flags = flags
+        self.pattern = build_pattern(mesh)
+        self.context = MiniAppContext(mesh, vector_size, nnz=self.pattern.nnz,
+                                      params=params)
+        self.field_seed = field_seed
+        # pad elpos rows for the padded tail (never scattered: the
+        # validity check skips padded elements).
+        pad = self.context.padded_nelem - mesh.nelem
+        self.elpos = (
+            np.concatenate([self.pattern.elpos,
+                            np.repeat(self.pattern.elpos[-1:], pad, axis=0)])
+            if pad else self.pattern.elpos
+        )
+
+        self.kernels = build_kernels(self.context.arrays, self.config)
+        self.remarks: list[VecRemark] = []
+        self.compiled: list[CompiledKernel] = []
+        for kern in self.kernels:
+            result = vectorize_kernel(kern, self.flags)
+            self.remarks.extend(result.remarks)
+            self.compiled.append(lower_kernel(result.kernel, self.flags))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def chunks(self):
+        return self.context.chunks()
+
+    def global_float_data(self) -> dict[str, np.ndarray]:
+        """Fresh float-valued global arrays (+ amatr) for a numeric run."""
+        data = make_global_fields(self.mesh, self.context.padded_nelem,
+                                  nmate=self.context.sizes.nmate,
+                                  dtinv=self.context.params["dtinv"],
+                                  seed=self.field_seed)
+        data["amatr"] = np.zeros(self.pattern.nnz)
+        data.update(self.context.basis_data())
+        return data
+
+    # ------------------------------------------------------------------
+
+    def run_timed(self, machine_params: MachineParams, *,
+                  cache_enabled: bool = True,
+                  machine: Optional[Machine] = None) -> RunCounters:
+        """Execute the compiled mini-app on a machine model.
+
+        Returns the per-phase counters accumulated over every chunk of
+        the mesh (one full assembly sweep).
+        """
+        m = machine or Machine(machine_params, cache_enabled=cache_enabled)
+        run = RunCounters()
+        globals_data = {"elpos": self.elpos}
+        for chunk in self.chunks:
+            inst = self.context.instance_for_chunk(chunk, globals_data=globals_data)
+            m.execute_program(self.compiled, inst, run)
+        return run
+
+    def run_numeric(self, field_overrides: Optional[dict[str, np.ndarray]] = None
+                    ) -> AssembledSystem:
+        """Assemble the system with the NumPy reference semantics.
+
+        ``field_overrides`` replaces selected global arrays (e.g. an
+        updated ``unkno`` between time steps of a driver loop); shapes
+        must match the defaults from :meth:`global_float_data`.
+        """
+        gdata = self.global_float_data()
+        if field_overrides:
+            for name, arr in field_overrides.items():
+                if name not in gdata:
+                    raise KeyError(f"unknown global field {name!r}")
+                if gdata[name].shape != arr.shape:
+                    raise ValueError(
+                        f"{name}: shape {arr.shape} != {gdata[name].shape}")
+                gdata[name] = np.asarray(arr, dtype=np.float64)
+        # chunk-local scratch arrays, shared across chunks like Fortran's.
+        local = {
+            name: np.zeros(arr.shape)
+            for name, arr in self.context.arrays.items()
+            if arr.scope == "local"
+        }
+        data: dict[str, np.ndarray] = {
+            **gdata,
+            "lnods": self.context.lnods,
+            "ltype": self.context.ltype,
+            "lmate": self.context.lmate,
+            "kfl_sgs": self.context.kfl_sgs,
+            "elpos": self.elpos,
+            **local,
+        }
+        for chunk in self.chunks:
+            run_reference_chunk(data, self.context.params, chunk.elements)
+        return AssembledSystem(pattern=self.pattern, amatr=data["amatr"],
+                               rhsid=data["rhsid"])
+
+    def run_interpreted(self) -> AssembledSystem:
+        """Assemble the system by interpreting the IR kernels (slow)."""
+        gdata = self.global_float_data()
+        globals_data = {**gdata, "elpos": self.elpos}
+        shared = None
+        for chunk in self.chunks:
+            inst = self.context.instance_for_chunk(
+                chunk, with_data=True, globals_data=globals_data)
+            interp = Interpreter(inst, self.context.params)
+            for kern in self.kernels:
+                interp.run(kern)
+            shared = inst
+        assert shared is not None
+        return AssembledSystem(pattern=self.pattern,
+                               amatr=shared.data("amatr"),
+                               rhsid=shared.data("rhsid"))

@@ -1,0 +1,107 @@
+"""Finite-element reference data: trilinear hexahedra (Q1/HEX08).
+
+Shape functions and their parametric derivatives are evaluated at the
+2x2x2 Gauss-Legendre points, the standard choice for HEX08 elements and
+the configuration the Alya Nastin assembly uses for the paper's
+mini-app (``pnode = 8`` nodes, ``ngaus = 8`` integration points,
+``ndime = 3``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: spatial dimensions.
+NDIME = 3
+#: nodes per hexahedral element.
+PNODE = 8
+#: Gauss points per element (2x2x2).
+NGAUS = 8
+#: degrees of freedom per node (3 velocity components + pressure).
+NDOFN = 4
+#: Alya element-type code for the 8-node hexahedron.
+HEX08 = 37
+
+#: reference-element node coordinates in [-1, 1]^3, Alya/VTK ordering.
+_NODE_XI = np.array([
+    [-1.0, -1.0, -1.0],
+    [+1.0, -1.0, -1.0],
+    [+1.0, +1.0, -1.0],
+    [-1.0, +1.0, -1.0],
+    [-1.0, -1.0, +1.0],
+    [+1.0, -1.0, +1.0],
+    [+1.0, +1.0, +1.0],
+    [-1.0, +1.0, +1.0],
+])
+
+
+def gauss_points_1d() -> tuple[np.ndarray, np.ndarray]:
+    """Two-point Gauss-Legendre rule on [-1, 1]."""
+    g = 1.0 / np.sqrt(3.0)
+    return np.array([-g, g]), np.array([1.0, 1.0])
+
+
+@dataclass(frozen=True)
+class ElementBasis:
+    """Shape-function tables for HEX08.
+
+    Attributes use Alya's layout conventions:
+
+    * ``shapf[inode, igaus]`` -- shape function N_inode at Gauss point;
+    * ``deriv[idime, inode, igaus]`` -- dN_inode/dxi_idime;
+    * ``weigp[igaus]`` -- quadrature weight.
+    """
+
+    shapf: np.ndarray
+    deriv: np.ndarray
+    weigp: np.ndarray
+
+    def __post_init__(self) -> None:
+        assert self.shapf.shape == (PNODE, NGAUS)
+        assert self.deriv.shape == (NDIME, PNODE, NGAUS)
+        assert self.weigp.shape == (NGAUS,)
+
+
+def shape_q1(xi: np.ndarray) -> np.ndarray:
+    """Q1 shape functions at parametric point *xi* (shape (3,))."""
+    vals = np.empty(PNODE)
+    for a in range(PNODE):
+        na = _NODE_XI[a]
+        vals[a] = 0.125 * np.prod(1.0 + na * xi)
+    return vals
+
+
+def shape_q1_deriv(xi: np.ndarray) -> np.ndarray:
+    """Q1 parametric derivatives at *xi*: shape (NDIME, PNODE)."""
+    out = np.empty((NDIME, PNODE))
+    for a in range(PNODE):
+        na = _NODE_XI[a]
+        for d in range(NDIME):
+            term = 0.125 * na[d]
+            for o in range(NDIME):
+                if o != d:
+                    term *= 1.0 + na[o] * xi[o]
+            out[d, a] = term
+    return out
+
+
+def hex08_basis() -> ElementBasis:
+    """Build the HEX08 shape-function tables at the 2x2x2 Gauss points."""
+    pts, wts = gauss_points_1d()
+    shapf = np.empty((PNODE, NGAUS))
+    deriv = np.empty((NDIME, PNODE, NGAUS))
+    weigp = np.empty(NGAUS)
+    g = 0
+    # Gauss-point ordering: z fastest would also work; use x fastest to
+    # match the tensor-product convention used by the mesh tests.
+    for kz in range(2):
+        for ky in range(2):
+            for kx in range(2):
+                xi = np.array([pts[kx], pts[ky], pts[kz]])
+                shapf[:, g] = shape_q1(xi)
+                deriv[:, :, g] = shape_q1_deriv(xi)
+                weigp[g] = wts[kx] * wts[ky] * wts[kz]
+                g += 1
+    return ElementBasis(shapf=shapf, deriv=deriv, weigp=weigp)

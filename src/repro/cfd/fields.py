@@ -1,0 +1,74 @@
+"""Global field initialization for the mini-app.
+
+Provides the mesh-level data the gather phases read: nodal unknowns
+(a smooth Taylor-Green-like velocity field plus a pressure mode, so the
+assembled operators are well conditioned and non-trivial), per-element
+tracked subscales, local time steps, and the material property tables.
+
+Fields are deterministic functions of the node coordinates (plus a
+seeded perturbation), so every run of a given mesh reproduces the same
+assembled system bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfd.elements import NDIME, NDOFN, NGAUS
+from repro.cfd.mesh import Mesh
+
+
+def taylor_green_unkno(coord: np.ndarray, amplitude: float = 1.0) -> np.ndarray:
+    """Velocity + pressure unknowns from a 3-D Taylor-Green-like mode."""
+    # Incommensurate frequencies + phase shifts keep the field non-zero
+    # on grid-aligned node coordinates.
+    freqs = (1.7, 1.3, 1.1)
+    x, y, z = (freqs[i] * np.pi * coord[:, i] + 0.3 * (i + 1)
+               for i in range(NDIME))
+    unkno = np.empty((coord.shape[0], NDOFN))
+    unkno[:, 0] = amplitude * np.cos(x) * np.sin(y) * np.sin(z)
+    unkno[:, 1] = -0.5 * amplitude * np.sin(x) * np.cos(y) * np.sin(z)
+    unkno[:, 2] = -0.5 * amplitude * np.sin(x) * np.sin(y) * np.cos(z)
+    unkno[:, 3] = 0.0625 * amplitude * (np.cos(2 * x) + np.cos(2 * y)) * (
+        np.cos(2 * z) + 2.0)
+    return unkno
+
+
+def make_global_fields(mesh: Mesh, padded_nelem: int,
+                       nmate: int = 1,
+                       density: float = 1.0,
+                       viscosity: float = 0.01,
+                       dtinv: float = 10.0,
+                       seed: int = 0) -> dict[str, np.ndarray]:
+    """All float-valued global arrays, padded to *padded_nelem*."""
+    rng = np.random.default_rng(seed)
+    pad = padded_nelem - mesh.nelem
+
+    def padded(a: np.ndarray) -> np.ndarray:
+        if pad == 0:
+            return a
+        return np.concatenate([a, np.repeat(a[-1:], pad, axis=0)])
+
+    tesgs = 1e-3 * rng.standard_normal((mesh.nelem, NDIME, NGAUS))
+    tesgs_old = 1e-3 * rng.standard_normal((mesh.nelem, NDIME, NGAUS))
+    dtinv_fld = dtinv * (1.0 + 0.1 * rng.random(mesh.nelem))
+    # per-element characteristic length h = (bounding-box volume)^(1/3)
+    elcod = mesh.coord[mesh.lnods]                      # (nelem, 8, 3)
+    box = elcod.max(axis=1) - elcod.min(axis=1)
+    chale_fld = np.cbrt(np.prod(box, axis=1))
+    unkno = taylor_green_unkno(mesh.coord)
+    # previous-step velocity: slightly relaxed current field
+    unkno_old = 0.95 * unkno[:, :NDIME] + 1e-3 * rng.standard_normal(
+        (mesh.npoin, NDIME))
+    return {
+        "coord": mesh.coord,
+        "unkno": unkno,
+        "unkno_old": unkno_old,
+        "densi_mat": density * (1.0 + 0.05 * np.arange(nmate)),
+        "visco_mat": viscosity * (1.0 + 0.05 * np.arange(nmate)),
+        "tesgs": padded(tesgs),
+        "tesgs_old": padded(tesgs_old),
+        "dtinv_fld": padded(dtinv_fld),
+        "chale_fld": padded(chale_fld),
+        "rhsid": np.zeros((mesh.npoin, NDOFN)),
+    }

@@ -1,0 +1,126 @@
+"""Krylov solvers over the CSR substrate.
+
+The second structural half of a CFD code (paper section 2.3): after the
+mini-app assembles the global matrix and RHS, an algebraic solver
+produces the update.  The assembled momentum operator (convection +
+grad-div stabilization + viscosity) is nonsymmetric, so the workhorse is
+BiCGSTAB with Jacobi preconditioning; CG is provided for symmetric
+systems (pure-viscous operators) and for testing.
+
+All vector arithmetic is NumPy; the only matrix operation is
+:func:`repro.cfd.csr.spmv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cfd.csr import CSRPattern, diagonal, spmv
+
+
+@dataclass
+class SolveResult:
+    x: np.ndarray
+    iterations: int
+    residual: float
+    converged: bool
+    history: list[float]
+
+
+def jacobi_preconditioner(pattern: CSRPattern, data: np.ndarray
+                          ) -> Callable[[np.ndarray], np.ndarray]:
+    """Return the Jacobi (diagonal) preconditioner application."""
+    diag = diagonal(pattern, data)
+    safe = np.where(np.abs(diag) > 0.0, diag, 1.0)
+    inv = 1.0 / safe
+    return lambda r: inv * r
+
+
+def cg(pattern: CSRPattern, data: np.ndarray, b: np.ndarray,
+       x0: Optional[np.ndarray] = None, tol: float = 1e-10,
+       maxiter: int = 1000,
+       precond: Optional[Callable[[np.ndarray], np.ndarray]] = None
+       ) -> SolveResult:
+    """Preconditioned conjugate gradients (SPD systems)."""
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    r = b - spmv(pattern, data, x)
+    M = precond or (lambda v: v)
+    z = M(r)
+    p = z.copy()
+    rz = float(r @ z)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.linalg.norm(r)) / bnorm]
+    if history[-1] < tol:
+        return SolveResult(x, 0, history[-1], True, history)
+    for it in range(1, maxiter + 1):
+        Ap = spmv(pattern, data, p)
+        pAp = float(p @ Ap)
+        if pAp == 0.0:
+            return SolveResult(x, it, history[-1], False, history)
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        res = float(np.linalg.norm(r)) / bnorm
+        history.append(res)
+        if res < tol:
+            return SolveResult(x, it, res, True, history)
+        z = M(r)
+        rz_new = float(r @ z)
+        p = z + (rz_new / rz) * p
+        rz = rz_new
+    return SolveResult(x, maxiter, history[-1], False, history)
+
+
+def bicgstab(pattern: CSRPattern, data: np.ndarray, b: np.ndarray,
+             x0: Optional[np.ndarray] = None, tol: float = 1e-10,
+             maxiter: int = 1000,
+             precond: Optional[Callable[[np.ndarray], np.ndarray]] = None
+             ) -> SolveResult:
+    """Preconditioned BiCGSTAB (general nonsymmetric systems)."""
+    x = np.zeros_like(b) if x0 is None else x0.copy()
+    r = b - spmv(pattern, data, x)
+    r0 = r.copy()
+    M = precond or (lambda v: v)
+    rho = alpha = omega = 1.0
+    v = np.zeros_like(b)
+    p = np.zeros_like(b)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    history = [float(np.linalg.norm(r)) / bnorm]
+    if history[-1] < tol:
+        return SolveResult(x, 0, history[-1], True, history)
+    for it in range(1, maxiter + 1):
+        rho_new = float(r0 @ r)
+        if rho_new == 0.0:
+            return SolveResult(x, it, history[-1], False, history)
+        beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
+        p = r + beta * (p - omega * v) if it > 1 else r.copy()
+        phat = M(p)
+        v = spmv(pattern, data, phat)
+        denom = float(r0 @ v)
+        if denom == 0.0:
+            return SolveResult(x, it, history[-1], False, history)
+        alpha = rho_new / denom
+        s = r - alpha * v
+        if float(np.linalg.norm(s)) / bnorm < tol:
+            x += alpha * phat
+            history.append(float(np.linalg.norm(s)) / bnorm)
+            return SolveResult(x, it, history[-1], True, history)
+        shat = M(s)
+        t = spmv(pattern, data, shat)
+        tt = float(t @ t)
+        if tt == 0.0:
+            return SolveResult(x, it, history[-1], False, history)
+        omega = float(t @ s) / tt
+        x += alpha * phat + omega * shat
+        r = s - omega * t
+        rho = rho_new
+        res = float(np.linalg.norm(r)) / bnorm
+        history.append(res)
+        if res < tol:
+            return SolveResult(x, it, res, True, history)
+        if omega == 0.0:
+            return SolveResult(x, it, res, False, history)
+    return SolveResult(x, maxiter, history[-1], False, history)

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the reproduction the ergonomics of the original toolchain -- one
+command per artifact or workflow:
+
+* ``info``                      -- the Table-2 platform summary;
+* ``table N`` / ``figure N``    -- regenerate one paper artifact;
+* ``sweep``                     -- the Figure-11 speed-up ladder;
+* ``remarks``                   -- the compiler's vectorization remarks;
+* ``advise``                    -- the co-design advisor's findings;
+* ``codesign``                  -- run the full iterative loop;
+* ``trace``                     -- run with the tracer, export Paraver text.
+
+Results print as ASCII tables (see ``repro.experiments.report``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import figures as F
+from repro.experiments import report, tables as T
+from repro.experiments.config import FULL_MESH, QUICK_MESH
+from repro.experiments.runner import Session
+
+_TABLES = {1: T.table1, 2: T.table2, 3: T.table3, 4: T.table4,
+           5: T.table5, 6: T.table6}
+_FIGURES = {2: F.figure2, 3: F.figure3, 4: F.figure4, 5: F.figure5,
+            6: F.figure6, 7: F.figure7, 8: F.figure8, 9: F.figure9,
+            10: F.figure10, 11: F.figure11, 12: F.figure12, 13: F.figure13}
+
+
+def _mesh_dims(name: str) -> tuple[int, int, int]:
+    return QUICK_MESH if name == "quick" else FULL_MESH
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mesh", choices=("quick", "full"), default="quick",
+                   help="mesh preset: quick=960 elements, full=7680")
+    p.add_argument("--machine", default="riscv_vec",
+                   choices=("riscv_vec", "riscv_vec_next", "sx_aurora",
+                            "mn4_avx512", "a64fx"))
+    p.add_argument("--opt", default="vec1",
+                   choices=("scalar", "vanilla", "vec2", "ivec2", "vec1"))
+    p.add_argument("--vs", type=int, default=240, help="VECTOR_SIZE")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Exploiting long vectors with a CFD "
+                    "code' (IPPS 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="platform summary (Table 2)")
+
+    p = sub.add_parser("table", help="regenerate a paper table (1-6)")
+    p.add_argument("number", type=int, choices=sorted(_TABLES))
+    p.add_argument("--mesh", choices=("quick", "full"), default="quick")
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (2-13)")
+    p.add_argument("number", type=int, choices=sorted(_FIGURES))
+    p.add_argument("--mesh", choices=("quick", "full"), default="quick")
+
+    p = sub.add_parser("sweep", help="speed-up ladder (Figure 11)")
+    p.add_argument("--mesh", choices=("quick", "full"), default="quick")
+
+    p = sub.add_parser("report", help="the full evaluation report "
+                                      "(every table and figure)")
+    p.add_argument("--mesh", choices=("quick", "full"), default="quick")
+    p.add_argument("-o", "--output", default=None,
+                   help="write to a file instead of stdout")
+
+    p = sub.add_parser("remarks", help="compiler vectorization remarks")
+    _add_common(p)
+
+    p = sub.add_parser("advise", help="co-design advisor findings")
+    _add_common(p)
+
+    p = sub.add_parser("codesign", help="run the iterative co-design loop")
+    _add_common(p)
+
+    p = sub.add_parser("trace", help="run traced, export Paraver-like text")
+    _add_common(p)
+    p.add_argument("-o", "--output", default="miniapp.prv")
+
+    p = sub.add_parser("roofline", help="per-phase roofline analysis")
+    _add_common(p)
+
+    return parser
+
+
+def _cmd_info() -> int:
+    print(report.render(T.table2()))
+    return 0
+
+
+def _cmd_table(args) -> int:
+    fn = _TABLES[args.number]
+    if args.number in (1, 2):
+        obj = fn()
+    else:
+        obj = fn(Session(mesh_dims=_mesh_dims(args.mesh), verbose=True))
+    print(report.render(obj))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    session = Session(mesh_dims=_mesh_dims(args.mesh), verbose=True)
+    obj = _FIGURES[args.number](session)
+    print(obj.title)
+    print(report.format_table(obj.rows()))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.summary import evaluation_report
+
+    session = Session(mesh_dims=_mesh_dims(args.mesh), verbose=True)
+    text = evaluation_report(session)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    session = Session(mesh_dims=_mesh_dims(args.mesh), verbose=True)
+    fig = F.figure11(session)
+    print(report.format_series_barchart(fig))
+    return 0
+
+
+def _make_app(args):
+    from repro.cfd.assembly import MiniApp
+    from repro.cfd.mesh import box_mesh
+
+    return MiniApp(box_mesh(*_mesh_dims(args.mesh)), vector_size=args.vs,
+                   opt=args.opt)
+
+
+def _cmd_remarks(args) -> int:
+    app = _make_app(args)
+    for r in app.remarks:
+        print(r)
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.codesign import Advisor, render_findings
+    from repro.machine.machines import get_machine
+
+    app = _make_app(args)
+    advisor = Advisor(get_machine(args.machine))
+    print(render_findings(advisor.analyze_miniapp(app)))
+    return 0
+
+
+def _cmd_codesign(args) -> int:
+    from repro.cfd.mesh import box_mesh
+    from repro.codesign import run_codesign_loop
+    from repro.machine.machines import get_machine
+
+    # the loop starts from the auto-vectorized baseline unless the user
+    # explicitly asks to start mid-ladder (vec2 / ivec2).
+    start = args.opt if args.opt in ("vec2", "ivec2") else "vanilla"
+    result = run_codesign_loop(box_mesh(*_mesh_dims(args.mesh)),
+                               get_machine(args.machine), vector_size=args.vs,
+                               start_opt=start)
+    rows = [["step", "cycles", "speed-up vs start", "next"]]
+    for s in result.steps:
+        rows.append([s.opt, f"{s.total_cycles:,.0f}",
+                     f"{s.speedup_vs_start:.2f}x", s.next_opt or "-"])
+    print(report.format_table(rows))
+    print(f"\nfinal: {result.final_speedup:.2f}x over {result.sequence[0]}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.machine.cpu import Machine
+    from repro.machine.machines import get_machine
+    from repro.trace import Tracer, paraver, phase_stats
+
+    app = _make_app(args)
+    tracer = Tracer()
+    machine = Machine(get_machine(args.machine), tracer=tracer)
+    app.run_timed(get_machine(args.machine), machine=machine)
+    paraver.dump(tracer, args.output)
+    stats = phase_stats(tracer)
+    rows = [["phase", "cycles", "vector instrs", "AVL"]]
+    for p in sorted(stats):
+        s = stats[p]
+        rows.append([str(p), f"{s.cycles:,.0f}", f"{s.vector_instrs:,.0f}",
+                     f"{s.avl:.0f}"])
+    print(report.format_table(rows))
+    print(f"\ntrace written to {args.output}")
+    return 0
+
+
+def _cmd_roofline(args) -> int:
+    from repro.machine.machines import get_machine
+    from repro.metrics.roofline import render_roofline, run_roofline
+
+    app = _make_app(args)
+    machine = get_machine(args.machine)
+    run = app.run_timed(machine)
+    print(render_roofline(run_roofline(run, machine), machine))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": lambda: _cmd_info(),
+        "table": lambda: _cmd_table(args),
+        "figure": lambda: _cmd_figure(args),
+        "sweep": lambda: _cmd_sweep(args),
+        "report": lambda: _cmd_report(args),
+        "remarks": lambda: _cmd_remarks(args),
+        "advise": lambda: _cmd_advise(args),
+        "codesign": lambda: _cmd_codesign(args),
+        "trace": lambda: _cmd_trace(args),
+        "roofline": lambda: _cmd_roofline(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

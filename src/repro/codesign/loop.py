@@ -1,0 +1,72 @@
+"""The closed co-design loop: iterate advisor-driven optimization.
+
+``run_codesign_loop`` automates the paper's Section-3 cycle end to end:
+start from the vanilla auto-vectorized build, measure, analyze, apply
+the recommended transformation, and repeat until the advisor stops
+recommending code changes.  On the mini-app this reproduces the exact
+VEC2 -> IVEC2 -> VEC1 sequence the authors applied by hand -- including
+the VEC2 intermediate step being a (deliberate) performance regression
+on the way to IVEC2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfd.assembly import MiniApp
+from repro.cfd.mesh import Mesh
+from repro.codesign.advisor import Advisor, Finding, recommend_next_opt
+from repro.machine.params import MachineParams
+
+
+@dataclass
+class CodesignStep:
+    """One iteration of the loop."""
+
+    opt: str
+    total_cycles: float
+    speedup_vs_start: float
+    findings: list[Finding]
+    next_opt: str | None
+
+
+@dataclass
+class CodesignResult:
+    steps: list[CodesignStep] = field(default_factory=list)
+
+    @property
+    def sequence(self) -> list[str]:
+        return [s.opt for s in self.steps]
+
+    @property
+    def final_speedup(self) -> float:
+        return self.steps[-1].speedup_vs_start if self.steps else 1.0
+
+
+def run_codesign_loop(mesh: Mesh, machine: MachineParams,
+                      vector_size: int = 240, start_opt: str = "vanilla",
+                      max_steps: int = 6, cache_enabled: bool = True
+                      ) -> CodesignResult:
+    """Iterate measure -> analyze -> refactor until convergence."""
+    advisor = Advisor(machine)
+    result = CodesignResult()
+    opt: str | None = start_opt
+    baseline: float | None = None
+    for _ in range(max_steps):
+        assert opt is not None
+        app = MiniApp(mesh, vector_size=vector_size, opt=opt)
+        run = app.run_timed(machine, cache_enabled=cache_enabled)
+        cycles = run.total_cycles
+        if baseline is None:
+            baseline = cycles
+        findings = advisor.analyze(app.remarks, run, vector_size)
+        next_opt = recommend_next_opt(findings, opt)
+        result.steps.append(CodesignStep(
+            opt=opt, total_cycles=cycles,
+            speedup_vs_start=baseline / cycles,
+            findings=findings, next_opt=next_opt,
+        ))
+        if next_opt is None:
+            break
+        opt = next_opt
+    return result

@@ -1,0 +1,30 @@
+"""The modelled auto-vectorizing compiler: IR, analysis, vectorizer, codegen."""
+
+from repro.compiler.flags import PAPER_FLAGS, SCALAR_FLAGS, CompilerFlags
+from repro.compiler.vectorizer import VecRemark, VectorizationResult, vectorize_kernel
+from repro.compiler.codegen import lower_kernel
+from repro.compiler.program import (
+    CompiledKernel,
+    KernelInstance,
+    MemoryLayout,
+    ScalarBlock,
+    VectorBlock,
+)
+from repro.compiler.interpreter import Interpreter, run_kernel
+
+__all__ = [
+    "PAPER_FLAGS",
+    "SCALAR_FLAGS",
+    "CompilerFlags",
+    "VecRemark",
+    "VectorizationResult",
+    "vectorize_kernel",
+    "lower_kernel",
+    "CompiledKernel",
+    "KernelInstance",
+    "MemoryLayout",
+    "ScalarBlock",
+    "VectorBlock",
+    "Interpreter",
+    "run_kernel",
+]

@@ -1,0 +1,175 @@
+"""Vectorization legality analysis.
+
+Implements the legality rules of the modelled auto-vectorizer.  Each rule
+corresponds to a real LLVM-vectorizer behaviour that drives part of the
+paper's story:
+
+* **runtime-dummy trip counts** (rule R1): the original phase-2 loop
+  bound ``VECTOR_DIM`` is a dummy argument the compiler re-loads from
+  memory at every iteration; stores inside the loop may alias that
+  location, so neither hoisting nor vectorization is legal.  The VEC2
+  refactor (constant bound) removes the blocker.
+* **control flow** (rule R2): the modelled compiler does not if-convert,
+  so the phase-1 mixed loop and the phase-8 valid-element check block
+  vectorization.  The VEC1 loop fission isolates the straight-line half.
+* **may-alias scatters** (rule R3): indexed stores whose index depends on
+  the loop variable (the phase-8 global assembly) may carry
+  intra-vector conflicts (two elements of a chunk sharing a mesh node),
+  so they are rejected.
+* **strided accesses** (rule R4): only legal when the Table-1 flag
+  ``-vectorizer-use-vp-strided-load-store`` is given.
+* **reductions** (rule R5): accumulation into a loop-invariant address is
+  accepted only under ``-ffp-contract=fast`` (reassociation allowed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.compiler.flags import CompilerFlags
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Expr,
+    If,
+    Indirect,
+    Load,
+    Loop,
+    Ref,
+    Stmt,
+    Unary,
+)
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One reason a loop cannot be vectorized."""
+
+    code: str
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.reason}"
+
+
+def refs_in_expr(expr: Expr) -> Iterable[Ref]:
+    """Yield every array reference loaded by *expr* (including index
+    arrays of indirect references)."""
+    if isinstance(expr, Load):
+        yield expr.ref
+        yield from _index_refs(expr.ref)
+    elif isinstance(expr, BinOp):
+        yield from refs_in_expr(expr.lhs)
+        yield from refs_in_expr(expr.rhs)
+    elif isinstance(expr, Unary):
+        yield from refs_in_expr(expr.x)
+
+
+def _index_refs(ref: Ref) -> Iterable[Ref]:
+    for e in ref.idx:
+        if isinstance(e, Indirect):
+            yield Ref(e.array, e.idx)
+            yield from _index_refs(Ref(e.array, e.idx))
+
+
+def stmt_has_control_flow(stmts: tuple[Stmt, ...]) -> bool:
+    return any(isinstance(s, If) for s in stmts)
+
+
+def check_loop(
+    loop: Loop,
+    enclosing: tuple[Loop, ...],
+    flags: CompilerFlags,
+) -> list[Blocker]:
+    """Return the legality blockers for vectorizing *loop* (innermost).
+
+    ``enclosing`` are the loops around it, outermost first.
+    """
+    blockers: list[Blocker] = []
+
+    # R1: runtime-dummy extents anywhere in the nest poison alias analysis.
+    for lp in (*enclosing, loop):
+        if lp.extent.kind == "runtime_dummy":
+            name = lp.extent.name or lp.var
+            blockers.append(Blocker(
+                "R1-runtime-trip-count",
+                f"trip count '{name}' of loop '{lp.var}' is a dummy argument "
+                f"re-loaded from memory each iteration; stores in the loop may "
+                f"alias it",
+            ))
+            break
+
+    # R2: no if-conversion.
+    if stmt_has_control_flow(loop.body):
+        blockers.append(Blocker(
+            "R2-control-flow",
+            f"loop '{loop.var}' contains data-dependent control flow",
+        ))
+
+    for stmt in loop.body:
+        if not isinstance(stmt, Assign):
+            continue
+        ref = stmt.ref
+        stride = ref.stride_along(loop.var)
+
+        # R3: scatter stores that may alias.
+        if stride is None:
+            blockers.append(Blocker(
+                "R3-may-alias-scatter",
+                f"store to '{ref.array.name}' is indexed through a runtime "
+                f"index array along '{loop.var}'; elements may conflict",
+            ))
+            continue
+
+        # R4: strided stores need the vp-strided flag.
+        if stride not in (0, 1) and not flags.vectorizer_use_vp_strided:
+            blockers.append(Blocker(
+                "R4-strided-store",
+                f"store to '{ref.array.name}' has stride {stride} along "
+                f"'{loop.var}' and strided vector accesses are disabled",
+            ))
+
+        # R5: reductions (loop-invariant accumulate target).
+        if stride == 0:
+            if stmt.accumulate:
+                if not flags.ffp_contract_fast:
+                    blockers.append(Blocker(
+                        "R5-reduction",
+                        f"reduction into '{ref.array.name}' requires FP "
+                        f"reassociation (-ffp-contract=fast)",
+                    ))
+            else:
+                blockers.append(Blocker(
+                    "R5-uniform-store",
+                    f"store to loop-invariant address in '{ref.array.name}'",
+                ))
+
+        # R4 for loads.
+        for lref in refs_in_expr(stmt.expr):
+            lstride = lref.stride_along(loop.var)
+            if lstride not in (None, 0, 1) and not flags.vectorizer_use_vp_strided:
+                blockers.append(Blocker(
+                    "R4-strided-load",
+                    f"load from '{lref.array.name}' has stride {lstride} along "
+                    f"'{loop.var}' and strided vector accesses are disabled",
+                ))
+
+    return blockers
+
+
+def body_is_pure_copy(loop: Loop) -> bool:
+    """True when the loop body only moves data (no FP arithmetic).
+
+    Such loops are the ones the memcpy idiom recognizer would normally
+    swallow; with the Table-1 flags they reach the vectorizer, which
+    vectorizes them without consulting the arithmetic cost model.
+    """
+    for stmt in loop.body:
+        if not isinstance(stmt, Assign):
+            return False
+        if stmt.accumulate:
+            return False
+        if not isinstance(stmt.expr, Load):
+            return False
+    return bool(loop.body)

@@ -1,0 +1,313 @@
+"""Code generation: lower a (vectorized) kernel to machine blocks.
+
+The lowering follows what a Fortran compiler at ``-O3`` would produce:
+
+* every scalar loop contributes per-iteration control instructions
+  (induction update + compare/branch); a loop whose bound is a
+  ``runtime_dummy`` extent also re-loads the bound each iteration, the
+  phase-2 pathology;
+* straight-line statements in a scalar context lower to scalar loads /
+  stores / FP ops with per-reference address generation;
+* a loop marked ``vectorized`` lowers to a strip-mined vector loop:
+  per strip one ``vsetvl``, one vector memory instruction per reference
+  (unit-stride / strided / indexed according to the reference's stride
+  along the vectorized variable), the contracted arithmetic mix, plus a
+  few scalar bookkeeping instructions; loop-invariant (stride-0)
+  operands fold into ``.vf``-style vector-scalar forms, costing one
+  scalar load per strip -- which is why the compiled kernels execute no
+  control-lane vector instructions, matching the paper's Figure 3;
+* indexed vector accesses additionally load their index vector
+  (unit-stride) and scale it to byte offsets with one control-lane shift,
+  the one place control-lane instructions can appear (post-IVEC2 code);
+* ``If`` guards scale the guarded work by their estimated taken fraction
+  and contribute the compare/branch cost.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.isa.instructions import (
+    ARITH_OPCODES,
+    LOAD_OPCODES,
+    STORE_OPCODES,
+    MemPattern,
+    ScalarOp,
+    VSLIDEDOWN,
+    VEXT,
+)
+from repro.compiler.analysis import refs_in_expr
+from repro.compiler.flags import CompilerFlags
+from repro.compiler.ir import (
+    Assign,
+    If,
+    Indirect,
+    Kernel,
+    Load,
+    Loop,
+    Ref,
+    Stmt,
+)
+from repro.compiler.program import (
+    AccessDesc,
+    CompiledKernel,
+    ScalarBlock,
+    VectorBlock,
+    VectorInstrDesc,
+)
+from repro.compiler.vectorizer import expr_op_mix
+
+
+def _pattern_for_stride(stride: int | None) -> MemPattern:
+    if stride is None:
+        return MemPattern.INDEXED
+    if stride in (0, 1):
+        return MemPattern.UNIT_STRIDE
+    return MemPattern.STRIDED
+
+
+@dataclass
+class _Ctx:
+    loop_vars: tuple[str, ...] = ()
+    loop_extents: tuple[int, ...] = ()
+    weight: float = 1.0
+
+    def inner(self, var: str, extent: int) -> "_Ctx":
+        return _Ctx(self.loop_vars + (var,), self.loop_extents + (extent,), self.weight)
+
+    def guarded(self, taken: float) -> "_Ctx":
+        return _Ctx(self.loop_vars, self.loop_extents, self.weight * taken)
+
+
+class _Lowering:
+    def __init__(self, kernel: Kernel, flags: CompilerFlags):
+        self.kernel = kernel
+        self.flags = flags
+        self.out = CompiledKernel(name=kernel.name, phase=kernel.phase)
+
+    # -- scalar statement groups ------------------------------------------
+
+    def _scalar_assign_block(self, stmts: list[Assign], ctx: _Ctx, label: str) -> None:
+        counts: dict[ScalarOp, float] = defaultdict(float)
+        flops = 0.0
+        accesses: list[AccessDesc] = []
+        for stmt in stmts:
+            loads = list(refs_in_expr(stmt.expr))
+            if stmt.accumulate:
+                loads.append(stmt.ref)
+            mix = expr_op_mix(stmt.expr, self.flags)
+            fp = mix.fp_ops + (1 if stmt.accumulate else 0)
+            counts[ScalarOp.LOAD] += len(loads)
+            counts[ScalarOp.STORE] += 1
+            counts[ScalarOp.FP] += fp
+            counts[ScalarOp.FDIV] += mix.long
+            # address generation: one ALU op per memory reference;
+            # indirect (gathered) references additionally pay the index
+            # scaling / linearization arithmetic.
+            n_indirect = sum(1 for r in loads if r.has_indirect())
+            if stmt.ref.has_indirect():
+                n_indirect += 1
+            counts[ScalarOp.ALU] += len(loads) + 1 + n_indirect
+            counts[ScalarOp.MUL] += n_indirect
+            flops += 2 * mix.fma + mix.plain + mix.long + (1 if stmt.accumulate else 0)
+            accesses.extend(AccessDesc(r, False, ctx.weight) for r in loads)
+            accesses.append(AccessDesc(stmt.ref, True, ctx.weight))
+        w = ctx.weight
+        self.out.blocks.append(ScalarBlock(
+            phase=self.kernel.phase,
+            loop_vars=ctx.loop_vars,
+            loop_extents=ctx.loop_extents,
+            counts=tuple((op, w * c) for op, c in counts.items()),
+            flops_per_iter=w * flops,
+            accesses=tuple(accesses),
+            label=label,
+        ))
+
+    def _loop_control_block(self, loop: Loop, ctx: _Ctx) -> None:
+        counts: dict[ScalarOp, float] = {
+            ScalarOp.ALU: 1.0,
+            ScalarOp.BRANCH: 1.0,
+        }
+        if loop.extent.kind == "runtime_dummy":
+            # the dummy bound is re-loaded from memory each iteration.
+            counts[ScalarOp.LOAD] = 1.0
+        w = ctx.weight
+        inner = ctx.inner(loop.var, loop.extent.value)
+        self.out.blocks.append(ScalarBlock(
+            phase=self.kernel.phase,
+            loop_vars=inner.loop_vars,
+            loop_extents=inner.loop_extents,
+            counts=tuple((op, w * c) for op, c in counts.items()),
+            flops_per_iter=0.0,
+            accesses=(),
+            label=f"loop-control({loop.var})",
+        ))
+
+    def _if_cost_block(self, guard: If, ctx: _Ctx) -> None:
+        loads = list(refs_in_expr(guard.cond.lhs)) + list(refs_in_expr(guard.cond.rhs))
+        counts: dict[ScalarOp, float] = {
+            ScalarOp.LOAD: float(len(loads)),
+            ScalarOp.ALU: float(len(loads)),
+            ScalarOp.BRANCH: 1.0,
+        }
+        w = ctx.weight
+        self.out.blocks.append(ScalarBlock(
+            phase=self.kernel.phase,
+            loop_vars=ctx.loop_vars,
+            loop_extents=ctx.loop_extents,
+            counts=tuple((op, w * c) for op, c in counts.items()),
+            flops_per_iter=0.0,
+            accesses=tuple(AccessDesc(r, False, w) for r in loads),
+            label="if-guard",
+        ))
+
+    # -- vector loops -------------------------------------------------------
+
+    def _vector_block(self, loop: Loop, ctx: _Ctx) -> None:
+        instrs: list[VectorInstrDesc] = []
+        scalar_counts: dict[ScalarOp, float] = defaultdict(float)
+        # strip control: induction update, bound check, branch.
+        scalar_counts[ScalarOp.ALU] += 2.0
+        scalar_counts[ScalarOp.BRANCH] += 1.0
+        uniform_loads: list[Ref] = []
+
+        def emit_mem(ref: Ref, is_store: bool) -> None:
+            stride = ref.stride_along(loop.var)
+            if stride == 0 and not is_store:
+                # loop-invariant operand: folds into a .vf vector-scalar
+                # form; costs one scalar load per strip.
+                uniform_loads.append(ref)
+                return
+            pattern = _pattern_for_stride(stride)
+            if pattern is MemPattern.INDEXED:
+                # load the index vector, then shift element indices to
+                # byte offsets (one control-lane op).
+                for e in ref.idx:
+                    if isinstance(e, Indirect) and loop.var in e.vars():
+                        idx_ref = Ref(e.array, e.idx)
+                        idx_stride = idx_ref.stride_along(loop.var)
+                        idx_pat = _pattern_for_stride(idx_stride)
+                        instrs.append(VectorInstrDesc(
+                            LOAD_OPCODES[idx_pat], AccessDesc(idx_ref, False, ctx.weight),
+                        ))
+                        instrs.append(VectorInstrDesc(VEXT))
+                opcode = STORE_OPCODES[pattern] if is_store else LOAD_OPCODES[pattern]
+                instrs.append(VectorInstrDesc(opcode, AccessDesc(ref, is_store, ctx.weight)))
+            else:
+                opcode = STORE_OPCODES[pattern] if is_store else LOAD_OPCODES[pattern]
+                instrs.append(VectorInstrDesc(opcode, AccessDesc(ref, is_store, ctx.weight)))
+                if ref.has_indirect():
+                    # gather base that is uniform along the vector var
+                    # (e.g. lnods(elem, inode) inside the idofn loop):
+                    # one scalar index load per strip.
+                    for e in ref.idx:
+                        if isinstance(e, Indirect):
+                            uniform_loads.append(Ref(e.array, e.idx))
+                    scalar_counts[ScalarOp.LOAD] += 1.0
+            # base-address setup per strip: linearizing the enclosing
+            # multi-dimensional indices costs a multiply + adds.
+            scalar_counts[ScalarOp.ALU] += 2.0
+            scalar_counts[ScalarOp.MUL] += 1.0
+
+        for stmt in loop.body:
+            assert isinstance(stmt, Assign), "vectorized loops contain only assigns"
+            # loads: direct refs of the expression (gather index loads are
+            # handled inside emit_mem).
+            for lref in _direct_refs(stmt.expr):
+                emit_mem(lref, is_store=False)
+            if stmt.accumulate:
+                emit_mem(stmt.ref, is_store=False)
+            mix = expr_op_mix(stmt.expr, self.flags)
+            for _ in range(mix.fma):
+                instrs.append(VectorInstrDesc(ARITH_OPCODES["fma"]))
+            plain = mix.plain + (1 if stmt.accumulate else 0)
+            for _ in range(plain):
+                instrs.append(VectorInstrDesc(ARITH_OPCODES["add"]))
+            for _ in range(mix.long):
+                instrs.append(VectorInstrDesc(ARITH_OPCODES["div"]))
+            store_stride = stmt.ref.stride_along(loop.var)
+            if store_stride == 0:
+                # reduction into a scalar: log2(vl)-ish control-lane
+                # shuffle tree + one scalar store per strip.
+                for _ in range(4):
+                    instrs.append(VectorInstrDesc(VSLIDEDOWN))
+                scalar_counts[ScalarOp.STORE] += 1.0
+            else:
+                emit_mem(stmt.ref, is_store=True)
+
+        scalar_counts[ScalarOp.LOAD] += float(len(uniform_loads))
+        w = ctx.weight
+        self.out.blocks.append(VectorBlock(
+            phase=self.kernel.phase,
+            loop_vars=ctx.loop_vars,
+            loop_extents=ctx.loop_extents,
+            vec_var=loop.var,
+            total_trip=loop.extent.value,
+            instrs=tuple(instrs),
+            scalar_counts_per_strip=tuple((op, w * c) for op, c in scalar_counts.items()),
+            label=f"vector({loop.var})",
+        ))
+        if uniform_loads:
+            # uniform operands are fetched once per repeat of the strip
+            # loop; their addresses still hit the cache.
+            self.out.blocks.append(ScalarBlock(
+                phase=self.kernel.phase,
+                loop_vars=ctx.loop_vars,
+                loop_extents=ctx.loop_extents,
+                counts=((ScalarOp.ALU, w * len(uniform_loads)),),
+                flops_per_iter=0.0,
+                accesses=tuple(AccessDesc(r, False, w) for r in uniform_loads),
+                label=f"uniform-operands({loop.var})",
+            ))
+
+    # -- driver --------------------------------------------------------------
+
+    def lower_stmts(self, stmts: tuple[Stmt, ...], ctx: _Ctx) -> None:
+        pending: list[Assign] = []
+
+        def flush() -> None:
+            if pending:
+                self._scalar_assign_block(list(pending), ctx, label="straight-line")
+                pending.clear()
+
+        for s in stmts:
+            if isinstance(s, Assign):
+                pending.append(s)
+            elif isinstance(s, Loop):
+                flush()
+                if s.vectorized:
+                    # per-iteration loop control is replaced by the strip
+                    # loop accounted inside the vector block.
+                    self._vector_block(s, ctx)
+                else:
+                    self._loop_control_block(s, ctx)
+                    self.lower_stmts(s.body, ctx.inner(s.var, s.extent.value))
+            elif isinstance(s, If):
+                flush()
+                self._if_cost_block(s, ctx)
+                self.lower_stmts(s.body, ctx.guarded(s.est_taken))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"cannot lower {s!r}")
+        flush()
+
+
+def _direct_refs(expr) -> list[Ref]:
+    """Refs loaded directly by *expr* (excluding gather index arrays,
+    which codegen materializes with the gather instruction itself)."""
+    out: list[Ref] = []
+    if isinstance(expr, Load):
+        out.append(expr.ref)
+    elif hasattr(expr, "lhs"):
+        out.extend(_direct_refs(expr.lhs))
+        out.extend(_direct_refs(expr.rhs))
+    elif hasattr(expr, "x"):
+        out.extend(_direct_refs(expr.x))
+    return out
+
+
+def lower_kernel(kernel: Kernel, flags: CompilerFlags) -> CompiledKernel:
+    """Lower *kernel* (already run through the vectorizer) to blocks."""
+    lowering = _Lowering(kernel, flags)
+    lowering.lower_stmts(kernel.body, _Ctx())
+    return lowering.out

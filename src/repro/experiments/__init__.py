@@ -1,0 +1,26 @@
+"""Evaluation harness: configurations, cached runner, tables and figures."""
+
+from repro.experiments.config import (
+    FULL_MESH,
+    OPTS,
+    PLATFORMS,
+    QUICK_MESH,
+    RunConfig,
+    VECTOR_SIZES,
+)
+from repro.experiments.runner import Session
+from repro.experiments import figures, report, summary, tables
+
+__all__ = [
+    "FULL_MESH",
+    "OPTS",
+    "PLATFORMS",
+    "QUICK_MESH",
+    "RunConfig",
+    "VECTOR_SIZES",
+    "Session",
+    "figures",
+    "report",
+    "summary",
+    "tables",
+]

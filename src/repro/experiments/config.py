@@ -1,0 +1,51 @@
+"""Experiment configuration.
+
+The paper sweeps six VECTOR_SIZE values (Section 2.3, footnote 4: 240 is
+included because the Vitruvius FSM maximizes throughput at multiples of
+40) over cumulative optimization levels on three platforms.  The default
+mesh has 7680 elements = lcm(240, 512) * 3, so every VECTOR_SIZE divides
+the element count evenly and no configuration is biased by chunk
+padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: the six VECTOR_SIZE values studied in the paper.
+VECTOR_SIZES: tuple[int, ...] = (16, 64, 128, 240, 256, 512)
+
+#: cumulative optimization levels, paper order.
+OPTS: tuple[str, ...] = ("scalar", "vanilla", "vec2", "ivec2", "vec1")
+
+#: platforms of the portability study (Table 2 / Figure 12).
+PLATFORMS: tuple[str, ...] = ("riscv_vec", "sx_aurora", "mn4_avx512")
+
+#: default mesh: 16 x 16 x 30 = 7680 HEX08 elements (8959 nodes); every
+#: VECTOR_SIZE in the sweep divides 7680.
+FULL_MESH: tuple[int, int, int] = (16, 16, 30)
+
+#: small mesh for fast runs / tests: 960 elements (VECTOR_SIZE = 256 and
+#: 512 need tail padding here).
+QUICK_MESH: tuple[int, int, int] = (8, 8, 15)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One mini-app execution configuration."""
+
+    machine: str = "riscv_vec"
+    opt: str = "vanilla"
+    vector_size: int = 240
+    mesh_dims: tuple[int, int, int] = FULL_MESH
+    cache_enabled: bool = True
+    field_seed: int = 0
+
+    def key(self) -> str:
+        """Stable cache key."""
+        nx, ny, nz = self.mesh_dims
+        return (
+            f"{self.machine}-{self.opt}-vs{self.vector_size}"
+            f"-mesh{nx}x{ny}x{nz}-cache{int(self.cache_enabled)}"
+            f"-seed{self.field_seed}"
+        )

@@ -1,0 +1,204 @@
+"""Generators for the paper's Figures 2-13 data series.
+
+Figures are returned as data objects (series keyed the way the paper's
+plots are legended); :mod:`repro.experiments.report` renders them as
+ASCII tables / bar charts.  The benchmark suite asserts the paper's
+qualitative shapes on these objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.config import PLATFORMS, VECTOR_SIZES
+from repro.experiments.runner import Session
+from repro.isa.hierarchy import VECTOR_BUCKETS
+from repro.metrics import metrics as M
+
+PHASES = tuple(range(1, 9))
+
+
+@dataclass
+class Series:
+    """A generic (x -> {label: value}) figure payload."""
+
+    title: str
+    xlabel: str
+    xs: list[int]
+    series: dict[str, list[float]]
+
+    def rows(self) -> list[list[str]]:
+        out = [[self.xlabel] + list(self.series.keys())]
+        for i, x in enumerate(self.xs):
+            out.append([str(x)] + [f"{vals[i]:.4g}" for vals in self.series.values()])
+        return out
+
+    def at(self, x: int, label: str) -> float:
+        return self.series[label][self.xs.index(x)]
+
+
+# -- Figure 2: total cycles, vanilla auto-vectorization ----------------------
+
+
+def figure2(session: Session) -> Series:
+    xs = list(VECTOR_SIZES)
+    cycles = [session.total_cycles(opt="vanilla", vector_size=vs) for vs in xs]
+    return Series(
+        title="Total cycles spent in the vanilla mini-app enabling auto-vectorization",
+        xlabel="VECTOR_SIZE", xs=xs, series={"total cycles": cycles})
+
+
+# -- Figure 3: absolute number and type of vector instructions ---------------
+
+
+def figure3(session: Session, opt: str = "vanilla") -> Series:
+    xs = list(VECTOR_SIZES)
+    series: dict[str, list[float]] = {b: [] for b in VECTOR_BUCKETS}
+    for vs in xs:
+        agg = session.run(opt=opt, vector_size=vs).aggregate()
+        series["arithmetic"].append(agg.instr_vector_arith)
+        series["memory"].append(agg.instr_vector_mem)
+        series["control_lane"].append(agg.instr_vector_ctrl)
+    return Series(
+        title="Absolute number and type of vector instructions (auto-vectorized)",
+        xlabel="VECTOR_SIZE", xs=xs, series=series)
+
+
+# -- Figures 4 / 8: percentage of cycles per phase ----------------------------
+
+
+def _phase_percent(session: Session, opt: str) -> Series:
+    xs = list(VECTOR_SIZES)
+    series = {f"phase {p}": [] for p in PHASES}
+    for vs in xs:
+        run = session.run(opt=opt, vector_size=vs)
+        fr = run.cycle_fractions()
+        for p in PHASES:
+            series[f"phase {p}"].append(100.0 * fr.get(p, 0.0))
+    return Series(title=f"Percentage of cycles per phase ({opt})",
+                  xlabel="VECTOR_SIZE", xs=xs, series=series)
+
+
+def figure4(session: Session) -> Series:
+    """Percentage cycles per phase, vanilla auto-vectorized."""
+    return _phase_percent(session, "vanilla")
+
+
+def figure8(session: Session) -> Series:
+    """Percentage cycles per phase after all optimizations."""
+    return _phase_percent(session, "vec1")
+
+
+# -- Figures 5 / 6: phase-2 cycles per optimization ---------------------------
+
+
+def _phase_cycles(session: Session, phase: int, opts: list[str]) -> Series:
+    xs = list(VECTOR_SIZES)
+    series = {
+        opt: [session.phase_cycles(phase, opt=opt, vector_size=vs) for vs in xs]
+        for opt in opts
+    }
+    return Series(title=f"Absolute cycles, phase {phase}",
+                  xlabel="VECTOR_SIZE", xs=xs, series=series)
+
+
+def figure5(session: Session) -> Series:
+    """Phase-2 cycles: original vs VEC2 (the counter-productive step)."""
+    return _phase_cycles(session, 2, ["vanilla", "vec2"])
+
+
+def figure6(session: Session) -> Series:
+    """Phase-2 cycles: original vs VEC2 vs IVEC2."""
+    return _phase_cycles(session, 2, ["vanilla", "vec2", "ivec2"])
+
+
+def figure7(session: Session) -> Series:
+    """Phase-1 cycles: original vs VEC1 (loop fission)."""
+    return _phase_cycles(session, 1, ["vanilla", "vec1"])
+
+
+# -- Figure 9: percentage of cycles w.r.t. VECTOR_SIZE = 16 -------------------
+
+
+def figure9(session: Session, opt: str = "vec1") -> Series:
+    xs = list(VECTOR_SIZES)
+    series = {}
+    for p in PHASES:
+        base = session.phase_cycles(p, opt=opt, vector_size=16)
+        series[f"phase {p}"] = [
+            100.0 * session.phase_cycles(p, opt=opt, vector_size=vs) / base
+            for vs in xs
+        ]
+    return Series(title="Percentage of cycles w.r.t. VECTOR_SIZE = 16 (lower is better)",
+                  xlabel="VECTOR_SIZE", xs=xs, series=series)
+
+
+# -- Figure 10: vector occupancy ----------------------------------------------
+
+
+def figure10(session: Session, opt: str = "vec1",
+             machine: str = "riscv_vec") -> Series:
+    from repro.machine.machines import get_machine
+
+    vl_max = get_machine(machine).vl_max
+    xs = list(VECTOR_SIZES)
+    series = {}
+    for p in PHASES:
+        if p == 8:
+            continue  # never vectorized; the paper omits its bar
+        vals = []
+        for vs in xs:
+            pc = session.run(machine=machine, opt=opt, vector_size=vs).phases[p]
+            vals.append(100.0 * M.occupancy(pc, vl_max))
+        series[f"phase {p}"] = vals
+    return Series(title="Vector occupancy (higher the better)",
+                  xlabel="VECTOR_SIZE", xs=xs, series=series)
+
+
+# -- Figure 11: speed-up vs scalar VECTOR_SIZE = 16 ---------------------------
+
+
+def figure11(session: Session) -> Series:
+    base = session.scalar_baseline().total_cycles
+    xs = list(VECTOR_SIZES)
+    series = {}
+    for opt in ("vanilla", "vec2", "ivec2", "vec1"):
+        series[opt] = [
+            base / session.total_cycles(opt=opt, vector_size=vs) for vs in xs]
+    return Series(title="Speed-up with respect to scalar VECTOR_SIZE = 16",
+                  xlabel="VECTOR_SIZE", xs=xs, series=series)
+
+
+# -- Figure 12: optimization speed-up across platforms ------------------------
+
+
+def figure12(session: Session) -> Series:
+    xs = list(VECTOR_SIZES)
+    series = {}
+    for machine in PLATFORMS:
+        vals = []
+        for vs in xs:
+            vanilla = session.total_cycles(machine=machine, opt="vanilla",
+                                           vector_size=vs)
+            best = session.total_cycles(machine=machine, opt="vec1",
+                                        vector_size=vs)
+            vals.append(vanilla / best)
+        series[machine] = vals
+    return Series(title="Speed-up of the optimizations on different HPC platforms",
+                  xlabel="VECTOR_SIZE", xs=xs, series=series)
+
+
+# -- Figure 13: MareNostrum 4 decomposition -----------------------------------
+
+
+def figure13(session: Session, machine: str = "mn4_avx512") -> Series:
+    xs = list(VECTOR_SIZES)
+    overall, phase2 = [], []
+    for vs in xs:
+        vanilla = session.run(machine=machine, opt="vanilla", vector_size=vs)
+        best = session.run(machine=machine, opt="vec1", vector_size=vs)
+        overall.append(vanilla.total_cycles / best.total_cycles)
+        phase2.append(vanilla.phases[2].cycles_total / best.phases[2].cycles_total)
+    return Series(title="Speed-up of the optimizations on MareNostrum 4",
+                  xlabel="VECTOR_SIZE", xs=xs,
+                  series={"mini-app": overall, "phase 2": phase2})

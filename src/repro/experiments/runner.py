@@ -1,0 +1,133 @@
+"""Experiment runner with memoized (in-memory + on-disk) results.
+
+Every table and figure of the paper is a projection of the same ~50
+simulated runs (machine x optimization x VECTOR_SIZE).  The
+:class:`Session` runs each configuration once, keeps the counters in
+memory, and persists them as JSON under ``.repro_cache/`` so the full
+benchmark suite re-renders in seconds after the first pass.  Set the
+environment variable ``REPRO_CACHE=0`` to disable the disk cache (the
+in-memory memo always applies), or bump :data:`MODEL_VERSION` when the
+timing model changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from pathlib import Path
+from typing import Optional
+
+from repro.cfd.assembly import MiniApp
+from repro.cfd.mesh import Mesh, box_mesh
+from repro.experiments.config import FULL_MESH, RunConfig
+from repro.machine.cpu import Machine
+from repro.machine.machines import get_machine
+from repro.metrics.counters import PhaseCounters, RunCounters
+
+#: bump when the timing model changes so stale disk caches are ignored.
+MODEL_VERSION = "3"
+
+_COUNTER_FIELDS = (
+    "cycles_total", "cycles_vector", "instr_scalar", "instr_vconfig",
+    "instr_vector_arith", "instr_vector_mem", "instr_vector_ctrl",
+    "instr_scalar_mem", "vl_sum", "flops", "l1_misses", "l2_misses",
+    "mem_element_accesses",
+)
+
+
+def counters_to_dict(run: RunCounters) -> dict:
+    out = {}
+    for pid, pc in run.phases.items():
+        rec = {f: getattr(pc, f) for f in _COUNTER_FIELDS}
+        rec["vl_hist"] = {str(k): v for k, v in pc.vl_hist.items()}
+        out[str(pid)] = rec
+    return out
+
+
+def counters_from_dict(data: dict) -> RunCounters:
+    run = RunCounters()
+    for pid_s, rec in data.items():
+        pc = PhaseCounters(phase=int(pid_s))
+        for f in _COUNTER_FIELDS:
+            setattr(pc, f, rec[f])
+        pc.vl_hist = Counter({int(k): v for k, v in rec["vl_hist"].items()})
+        run.phases[int(pid_s)] = pc
+    return run
+
+
+class Session:
+    """Shared run cache for one mesh configuration."""
+
+    def __init__(self, mesh_dims: tuple[int, int, int] = FULL_MESH,
+                 cache_dir: str | os.PathLike = ".repro_cache",
+                 use_disk: Optional[bool] = None,
+                 verbose: bool = False):
+        self.mesh_dims = tuple(mesh_dims)
+        self.cache_dir = Path(cache_dir)
+        if use_disk is None:
+            use_disk = os.environ.get("REPRO_CACHE", "1") != "0"
+        self.use_disk = use_disk
+        self.verbose = verbose
+        self._mesh: Optional[Mesh] = None
+        self._memo: dict[str, RunCounters] = {}
+        self._apps: dict[tuple, MiniApp] = {}
+
+    @property
+    def mesh(self) -> Mesh:
+        if self._mesh is None:
+            self._mesh = box_mesh(*self.mesh_dims)
+        return self._mesh
+
+    def miniapp(self, opt: str, vector_size: int, field_seed: int = 0) -> MiniApp:
+        """Build (and memoize) the compiled mini-app for a configuration."""
+        key = (opt, vector_size, field_seed)
+        if key not in self._apps:
+            self._apps[key] = MiniApp(self.mesh, vector_size, opt,
+                                      field_seed=field_seed)
+        return self._apps[key]
+
+    # ------------------------------------------------------------------
+
+    def _disk_path(self, cfg: RunConfig) -> Path:
+        return self.cache_dir / f"v{MODEL_VERSION}-{cfg.key()}.json"
+
+    def run(self, machine: str = "riscv_vec", opt: str = "vanilla",
+            vector_size: int = 240, cache_enabled: bool = True,
+            field_seed: int = 0) -> RunCounters:
+        """Run (or recall) one configuration; returns per-phase counters."""
+        cfg = RunConfig(machine=machine, opt=opt, vector_size=vector_size,
+                        mesh_dims=self.mesh_dims, cache_enabled=cache_enabled,
+                        field_seed=field_seed)
+        key = cfg.key()
+        if key in self._memo:
+            return self._memo[key]
+        if self.use_disk:
+            path = self._disk_path(cfg)
+            if path.exists():
+                run = counters_from_dict(json.loads(path.read_text()))
+                self._memo[key] = run
+                return run
+        if self.verbose:  # pragma: no cover - console feedback
+            print(f"[repro] simulating {key} ...", flush=True)
+        app = self.miniapp(opt, vector_size, field_seed)
+        m = Machine(get_machine(machine), cache_enabled=cache_enabled)
+        run = app.run_timed(get_machine(machine), machine=m)
+        self._memo[key] = run
+        if self.use_disk:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._disk_path(cfg).write_text(json.dumps(counters_to_dict(run)))
+        return run
+
+    # -- convenience projections ------------------------------------------
+
+    def scalar_baseline(self, machine: str = "riscv_vec",
+                        vector_size: int = 16) -> RunCounters:
+        """The paper's baseline: scalar build at VECTOR_SIZE = 16."""
+        return self.run(machine=machine, opt="scalar", vector_size=vector_size)
+
+    def total_cycles(self, **kw) -> float:
+        return self.run(**kw).total_cycles
+
+    def phase_cycles(self, phase: int, **kw) -> float:
+        return self.run(**kw).phases[phase].cycles_total

@@ -1,0 +1,83 @@
+"""Full evaluation report: every table and figure in one document.
+
+``evaluation_report`` regenerates the paper's complete evaluation
+section as a single text document -- the machine-readable counterpart of
+EXPERIMENTS.md.  Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import figures as F
+from repro.experiments import report as R
+from repro.experiments import tables as T
+from repro.experiments.runner import Session
+
+#: (artifact id, paper caption) in paper order.
+ARTIFACTS: tuple[tuple[str, str], ...] = (
+    ("table1", "Compiler options used for enabling auto-vectorization"),
+    ("table2", "HPC platforms: hardware and software configuration"),
+    ("table3", "Percentage total cycles spent per phase (scalar)"),
+    ("figure2", "Total cycles, vanilla mini-app with auto-vectorization"),
+    ("table4", "Vanilla vector instruction mix M_v"),
+    ("figure3", "Absolute number and type of vector instructions"),
+    ("table5", "vCPI, AVL and number of vector instructions in phase 6"),
+    ("figure4", "Percentage cycles spent per phase (vanilla)"),
+    ("figure5", "Absolute cycles phase 2 (original vs VEC2)"),
+    ("figure6", "Resulting cycles phase 2 (+ IVEC2)"),
+    ("figure7", "Resulting cycles phase 1 (original vs VEC1)"),
+    ("figure8", "Percentage total cycles per phase after optimizations"),
+    ("figure9", "Percentage of cycles w.r.t. VECTOR_SIZE = 16"),
+    ("figure10", "Vector occupancy"),
+    ("table6", "Coefficient of determination, phases 1 and 8"),
+    ("figure11", "Speed-up with respect to scalar VECTOR_SIZE = 16"),
+    ("figure12", "Speed-up of optimizations on different HPC platforms"),
+    ("figure13", "Speed-up of optimizations on MareNostrum 4"),
+)
+
+
+def render_artifact(name: str, session: Session) -> str:
+    """Render one table/figure by id ('table3', 'figure11', ...)."""
+    if name.startswith("table"):
+        n = int(name.removeprefix("table"))
+        fn = {1: T.table1, 2: T.table2, 3: T.table3, 4: T.table4,
+              5: T.table5, 6: T.table6}[n]
+        obj = fn() if n in (1, 2) else fn(session)
+        return R.format_table(obj.rows())
+    if name.startswith("figure"):
+        n = int(name.removeprefix("figure"))
+        fn = {2: F.figure2, 3: F.figure3, 4: F.figure4, 5: F.figure5,
+              6: F.figure6, 7: F.figure7, 8: F.figure8, 9: F.figure9,
+              10: F.figure10, 11: F.figure11, 12: F.figure12,
+              13: F.figure13}[n]
+        return R.format_table(fn(session).rows())
+    raise KeyError(f"unknown artifact {name!r}")
+
+
+def evaluation_report(session: Session) -> str:
+    """The complete evaluation section as one text document."""
+    nx, ny, nz = session.mesh_dims
+    lines = [
+        "REPRODUCTION EVALUATION REPORT",
+        "paper: Exploiting long vectors with a CFD code (IPPS 2024)",
+        f"mesh: {nx}x{ny}x{nz} = {nx * ny * nz} HEX08 elements",
+        "",
+    ]
+    for name, caption in ARTIFACTS:
+        kind, num = ("Table", name.removeprefix("table")) \
+            if name.startswith("table") else ("Figure", name.removeprefix("figure"))
+        lines.append("=" * 72)
+        lines.append(f"{kind} {num}: {caption}")
+        lines.append("=" * 72)
+        lines.append(render_artifact(name, session))
+        lines.append("")
+    # headline summary
+    f11 = F.figure11(session)
+    best = max(f11.series["vec1"])
+    best_vs = f11.xs[f11.series["vec1"].index(best)]
+    lines.append("=" * 72)
+    lines.append(f"HEADLINE: {best:.2f}x over scalar at VECTOR_SIZE = {best_vs} "
+                 f"(paper: 7.6x at 240)")
+    lines.append("=" * 72)
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Generators for the paper's Tables 1-6.
+
+Each function returns a small result object carrying the data in the
+paper's layout plus ``rows()`` for plain rendering through
+:mod:`repro.experiments.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.flags import TABLE1_ROWS
+from repro.experiments.config import VECTOR_SIZES
+from repro.experiments.runner import Session
+from repro.machine.machines import MACHINES
+from repro.metrics import metrics as M
+from repro.metrics.regression import RegressionResult, cycles_vs_memory_model
+
+PHASES = tuple(range(1, 9))
+
+
+# -- Table 1 ----------------------------------------------------------------
+
+
+@dataclass
+class Table1:
+    """Compiler options used for enabling auto-vectorization."""
+
+    flags: tuple[tuple[str, str], ...] = TABLE1_ROWS
+
+    def rows(self) -> list[list[str]]:
+        return [["Flag", "Description"]] + [list(r) for r in self.flags]
+
+
+def table1() -> Table1:
+    return Table1()
+
+
+# -- Table 2 ----------------------------------------------------------------
+
+
+@dataclass
+class Table2:
+    """HPC platforms: hardware and software configuration (per core)."""
+
+    columns: list[str]
+    data: dict[str, list[str]]
+
+    def rows(self) -> list[list[str]]:
+        out = [[""] + self.columns]
+        for label, vals in self.data.items():
+            out.append([label] + vals)
+        return out
+
+
+def table2() -> Table2:
+    machines = [MACHINES["riscv_vec"], MACHINES["mn4_avx512"], MACHINES["sx_aurora"]]
+    data = {
+        "Architecture": [m.isa for m in machines],
+        "Cores per socket": [str(m.cores_per_socket) for m in machines],
+        "Frequency [MHz]": [f"{m.frequency_mhz:g}" for m in machines],
+        "Bandwidth [Bytes/cycle]": [
+            f"{m.memory.bandwidth_bytes_per_cycle:g}" for m in machines],
+        "Throughput [FLOP/cycle]": [
+            f"{m.peak_flops_per_cycle:g}" for m in machines],
+        "Compiler": [m.compiler for m in machines],
+        "OS": [m.os for m in machines],
+    }
+    return Table2(columns=[m.name for m in machines], data=data)
+
+
+# -- Table 3 ----------------------------------------------------------------
+
+
+@dataclass
+class Table3:
+    """Percentage of total cycles per phase, scalar execution."""
+
+    fractions: dict[int, float]
+
+    def rows(self) -> list[list[str]]:
+        head = ["Phase"] + [str(p) for p in PHASES]
+        vals = ["% of total cycles"] + [
+            f"{100 * self.fractions.get(p, 0.0):.1f}%" for p in PHASES]
+        return [head, vals]
+
+
+def table3(session: Session) -> Table3:
+    run = session.scalar_baseline()
+    return Table3(fractions=run.cycle_fractions())
+
+
+# -- Table 4 ----------------------------------------------------------------
+
+
+@dataclass
+class Table4:
+    """Vanilla vector instruction mix M_v per (VECTOR_SIZE, phase)."""
+
+    mix: dict[int, dict[int, float]]  # vs -> phase -> M_v
+
+    def rows(self) -> list[list[str]]:
+        out = [["VECTOR_SIZE"] + [str(p) for p in PHASES]]
+        for vs in sorted(self.mix):
+            out.append([str(vs)] + [
+                f"{100 * self.mix[vs].get(p, 0.0):.1f}%" for p in PHASES])
+        return out
+
+
+def table4(session: Session, opt: str = "vanilla") -> Table4:
+    mix: dict[int, dict[int, float]] = {}
+    for vs in VECTOR_SIZES:
+        run = session.run(opt=opt, vector_size=vs)
+        mix[vs] = {p: M.vector_mix(run.phases[p]) for p in run.phase_ids()}
+    return Table4(mix=mix)
+
+
+# -- Table 5 ----------------------------------------------------------------
+
+
+@dataclass
+class Table5:
+    """vCPI, AVL and number of vector instructions in phase 6."""
+
+    per_vs: dict[int, tuple[float, float, float]]  # vs -> (vcpi, avl, n)
+
+    def rows(self) -> list[list[str]]:
+        out = [["VECTOR_SIZE", "vCPI", "AVL", "Number vector instructions"]]
+        for vs in sorted(self.per_vs):
+            vcpi, avl, n = self.per_vs[vs]
+            out.append([str(vs), f"{vcpi:.2f}", f"{avl:.0f}", f"{n:.3g}"])
+        return out
+
+
+def table5(session: Session, phase: int = 6, opt: str = "vanilla") -> Table5:
+    per_vs = {}
+    for vs in VECTOR_SIZES:
+        pc = session.run(opt=opt, vector_size=vs).phases[phase]
+        per_vs[vs] = (M.vcpi(pc), M.avl(pc), pc.i_v)
+    return Table5(per_vs=per_vs)
+
+
+# -- Table 6 ----------------------------------------------------------------
+
+
+@dataclass
+class Table6:
+    """Coefficient of determination of the cycles ~ L1-DCM/ki + %mem model."""
+
+    results: dict[int, RegressionResult]
+
+    def rows(self) -> list[list[str]]:
+        out = [["Phase", "CoD (R^2)"]]
+        for p in sorted(self.results):
+            out.append([f"Phase {p}", f"{self.results[p].r_squared:.3f}"])
+        return out
+
+
+def table6(session: Session, phases: tuple[int, ...] = (1, 8),
+           opt: str = "vec1") -> Table6:
+    """Regress per-phase cycles on the two memory predictors over the
+    VECTOR_SIZE sweep (the paper's phases 1 and 8 analysis)."""
+    results = {}
+    for phase in phases:
+        cycles, dcm, memr = [], [], []
+        for vs in VECTOR_SIZES:
+            pc = session.run(opt=opt, vector_size=vs).phases[phase]
+            cycles.append(pc.cycles_total)
+            dcm.append(M.dcm_per_kiloinstruction(pc))
+            memr.append(M.mem_instruction_ratio(pc))
+        results[phase] = cycles_vs_memory_model(cycles, dcm, memr)
+    return Table6(results=results)

@@ -1,0 +1,82 @@
+"""Figure-1 instruction hierarchy: classification and counting.
+
+The paper classifies every executed instruction into a tree (its Figure 1)
+and reports counts at the "scalar / vector-configuration / vector" level
+and, inside vector, at the "arithmetic / memory / control-lane" level.
+This module provides the classification of :class:`~repro.isa.instructions.
+InstrSpec` objects and a small counter container used by traces and tests.
+
+The machine model keeps its own richer counters
+(:class:`repro.metrics.counters.PhaseCounters`); this module is the
+authoritative definition of *which bucket an opcode belongs to*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import InstrClass, InstrSpec, VectorKind
+
+#: Ordered bucket names as they appear in the paper's Figure 3 legend.
+VECTOR_BUCKETS = ("arithmetic", "memory", "control_lane")
+
+#: All leaf bucket names of the hierarchy tree.
+LEAF_BUCKETS = ("scalar", "vector_config") + VECTOR_BUCKETS
+
+
+def classify(spec: InstrSpec) -> str:
+    """Return the leaf bucket name of *spec* in the Figure-1 hierarchy."""
+    if spec.iclass is InstrClass.SCALAR:
+        return "scalar"
+    if spec.iclass is InstrClass.VECTOR_CONFIG:
+        return "vector_config"
+    assert spec.vkind is not None
+    return spec.vkind.value
+
+
+def is_counted_as_vector(spec: InstrSpec) -> bool:
+    """Whether *spec* contributes to the paper's ``i_v`` count.
+
+    Vector-configuration instructions set up the vector length for
+    subsequent vector instructions but execute on the scalar core; the
+    paper's hierarchy keeps them outside the "Vector" box, so they count
+    toward ``i_t`` but not ``i_v``.
+    """
+    return spec.iclass is InstrClass.VECTOR
+
+
+@dataclass
+class HierarchyCounts:
+    """Instruction counts at every node of the Figure-1 tree."""
+
+    scalar: int = 0
+    vector_config: int = 0
+    arithmetic: int = 0
+    memory: int = 0
+    control_lane: int = 0
+
+    @property
+    def vector(self) -> int:
+        """Total instructions in the "Vector" box (``i_v``)."""
+        return self.arithmetic + self.memory + self.control_lane
+
+    @property
+    def total(self) -> int:
+        """All instructions (``i_t``)."""
+        return self.scalar + self.vector_config + self.vector
+
+    def add(self, spec: InstrSpec, count: int = 1) -> None:
+        bucket = classify(spec)
+        setattr(self, bucket, getattr(self, bucket) + count)
+
+    def merged(self, other: "HierarchyCounts") -> "HierarchyCounts":
+        return HierarchyCounts(
+            scalar=self.scalar + other.scalar,
+            vector_config=self.vector_config + other.vector_config,
+            arithmetic=self.arithmetic + other.arithmetic,
+            memory=self.memory + other.memory,
+            control_lane=self.control_lane + other.control_lane,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in LEAF_BUCKETS}

@@ -1,0 +1,195 @@
+"""Instruction model for the simulated vector ISA.
+
+The simulated ISA follows the structure of the RISC-V vector extension
+(RVV 0.7.1) as used by the paper's RISC-V VEC prototype, but is kept
+architecture-neutral so the same compiled programs run on the NEC
+SX-Aurora and Intel AVX-512 machine models (the RVV vector-length-agnostic
+programming model makes this natural: the binary asks the machine for a
+vector length with ``vsetvl`` and the machine answers with at most its
+``vl_max``).
+
+Instructions are classified following the paper's Figure 1 hierarchy::
+
+    instructions
+    ├── scalar
+    ├── vector configuration        (vsetvl)
+    └── vector
+        ├── arithmetic              (vfadd, vfmul, vfmadd, ...)
+        ├── memory                  (unit-stride / strided / indexed)
+        └── control lane            (moves, slides, sign extensions)
+
+Only descriptors live here; timing is the machine model's job
+(:mod:`repro.machine`), and counting/classification helpers are in
+:mod:`repro.isa.hierarchy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class InstrClass(enum.Enum):
+    """Top level of the Figure-1 instruction hierarchy."""
+
+    SCALAR = "scalar"
+    VECTOR_CONFIG = "vector_config"
+    VECTOR = "vector"
+
+
+class VectorKind(enum.Enum):
+    """Second level of the hierarchy, below ``VECTOR``."""
+
+    ARITHMETIC = "arithmetic"
+    MEMORY = "memory"
+    CONTROL_LANE = "control_lane"
+
+
+class MemPattern(enum.Enum):
+    """Memory access pattern of a (scalar or vector) memory instruction.
+
+    The distinction matters to the machine model: unit-stride accesses
+    stream at full bandwidth, strided accesses are slower, and indexed
+    (gather/scatter) accesses are the slowest and the hardest on the
+    memory system -- the paper attributes the growth of phase 8's cost
+    with VECTOR_SIZE to "the complexity of indexed memory accesses".
+    """
+
+    UNIT_STRIDE = "unit_stride"
+    STRIDED = "strided"
+    INDEXED = "indexed"
+
+
+class ScalarOp(enum.Enum):
+    """Coarse scalar instruction categories used for CPI accounting."""
+
+    ALU = "alu"            # integer add/sub/shift/compare, address generation
+    MUL = "mul"            # integer multiply (array index linearization)
+    FP = "fp"              # scalar floating point
+    FDIV = "fdiv"          # scalar FP divide / sqrt (long latency)
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one instruction opcode.
+
+    A single ``InstrSpec`` stands for *every* dynamic instance of that
+    opcode; the dynamic state (vector length, addresses) is supplied by
+    the program representation at execution time.
+    """
+
+    opcode: str
+    iclass: InstrClass
+    vkind: Optional[VectorKind] = None
+    mem_pattern: Optional[MemPattern] = None
+    is_store: bool = False
+    #: floating point operations per *element* (2 for FMA, 1 for add/mul).
+    flops_per_elem: int = 0
+    #: True for long-latency arithmetic (divide, square root).
+    long_latency: bool = False
+    #: element width in bytes (the paper works in double precision).
+    ew_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.iclass is InstrClass.VECTOR and self.vkind is None:
+            raise ValueError(f"vector instruction {self.opcode!r} needs a VectorKind")
+        if self.iclass is not InstrClass.VECTOR and self.vkind is not None:
+            raise ValueError(f"non-vector instruction {self.opcode!r} cannot have a VectorKind")
+        if self.vkind is VectorKind.MEMORY and self.mem_pattern is None:
+            raise ValueError(f"vector memory instruction {self.opcode!r} needs a MemPattern")
+
+    @property
+    def is_vector(self) -> bool:
+        return self.iclass is InstrClass.VECTOR
+
+    @property
+    def is_memory(self) -> bool:
+        return self.vkind is VectorKind.MEMORY
+
+    @property
+    def is_arith(self) -> bool:
+        return self.vkind is VectorKind.ARITHMETIC
+
+
+def _v(opcode: str, vkind: VectorKind, **kw) -> InstrSpec:
+    return InstrSpec(opcode=opcode, iclass=InstrClass.VECTOR, vkind=vkind, **kw)
+
+
+# --------------------------------------------------------------------------
+# Opcode registry.  Names follow RVV 0.7.1 mnemonics where one exists.
+# --------------------------------------------------------------------------
+
+VSETVL = InstrSpec("vsetvl", InstrClass.VECTOR_CONFIG)
+
+# Vector arithmetic ('.vv' register-register and '.vf' register-scalar forms
+# share one spec: timing and classification are identical, and using the
+# '.vf' forms for loop-invariant scalars is what keeps the control-lane
+# instruction count at zero, as observed in the paper's Figure 3).
+VFADD = _v("vfadd", VectorKind.ARITHMETIC, flops_per_elem=1)
+VFSUB = _v("vfsub", VectorKind.ARITHMETIC, flops_per_elem=1)
+VFMUL = _v("vfmul", VectorKind.ARITHMETIC, flops_per_elem=1)
+VFMADD = _v("vfmadd", VectorKind.ARITHMETIC, flops_per_elem=2)
+VFDIV = _v("vfdiv", VectorKind.ARITHMETIC, flops_per_elem=1, long_latency=True)
+VFSQRT = _v("vfsqrt", VectorKind.ARITHMETIC, flops_per_elem=1, long_latency=True)
+VFMIN = _v("vfmin", VectorKind.ARITHMETIC, flops_per_elem=1)
+VFMAX = _v("vfmax", VectorKind.ARITHMETIC, flops_per_elem=1)
+VFNEG = _v("vfneg", VectorKind.ARITHMETIC, flops_per_elem=0)
+VFABS = _v("vfabs", VectorKind.ARITHMETIC, flops_per_elem=0)
+
+# Vector memory.
+VLE = _v("vle", VectorKind.MEMORY, mem_pattern=MemPattern.UNIT_STRIDE)
+VSE = _v("vse", VectorKind.MEMORY, mem_pattern=MemPattern.UNIT_STRIDE, is_store=True)
+VLSE = _v("vlse", VectorKind.MEMORY, mem_pattern=MemPattern.STRIDED)
+VSSE = _v("vsse", VectorKind.MEMORY, mem_pattern=MemPattern.STRIDED, is_store=True)
+VLXE = _v("vlxe", VectorKind.MEMORY, mem_pattern=MemPattern.INDEXED)
+VSXE = _v("vsxe", VectorKind.MEMORY, mem_pattern=MemPattern.INDEXED, is_store=True)
+
+# Vector control lane (present for completeness; the CFD kernels emit none,
+# matching the paper's observation, but reductions would use vslide).
+VMV = _v("vmv", VectorKind.CONTROL_LANE)
+VBROADCAST = _v("vfmv_v_f", VectorKind.CONTROL_LANE)
+VSLIDEDOWN = _v("vslidedown", VectorKind.CONTROL_LANE)
+VEXT = _v("vext", VectorKind.CONTROL_LANE)
+
+#: All vector + config opcodes, by mnemonic.
+OPCODES: dict[str, InstrSpec] = {
+    spec.opcode: spec
+    for spec in (
+        VSETVL,
+        VFADD, VFSUB, VFMUL, VFMADD, VFDIV, VFSQRT, VFMIN, VFMAX, VFNEG, VFABS,
+        VLE, VSE, VLSE, VSSE, VLXE, VSXE,
+        VMV, VBROADCAST, VSLIDEDOWN, VEXT,
+    )
+}
+
+#: Map an arithmetic IR operator name to its vector opcode.
+ARITH_OPCODES: dict[str, InstrSpec] = {
+    "add": VFADD,
+    "sub": VFSUB,
+    "mul": VFMUL,
+    "fma": VFMADD,
+    "div": VFDIV,
+    "sqrt": VFSQRT,
+    "min": VFMIN,
+    "max": VFMAX,
+    "neg": VFNEG,
+    "abs": VFABS,
+}
+
+#: Vector load opcode for each access pattern.
+LOAD_OPCODES: dict[MemPattern, InstrSpec] = {
+    MemPattern.UNIT_STRIDE: VLE,
+    MemPattern.STRIDED: VLSE,
+    MemPattern.INDEXED: VLXE,
+}
+
+#: Vector store opcode for each access pattern.
+STORE_OPCODES: dict[MemPattern, InstrSpec] = {
+    MemPattern.UNIT_STRIDE: VSE,
+    MemPattern.STRIDED: VSSE,
+    MemPattern.INDEXED: VSXE,
+}

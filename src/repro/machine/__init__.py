@@ -1,0 +1,33 @@
+"""Simulated hardware: cache hierarchy, VPU timing, machine presets."""
+
+from repro.machine.params import (
+    CacheParams,
+    MachineParams,
+    MemoryParams,
+    ScalarParams,
+    VPUParams,
+)
+from repro.machine.cache import Cache, MemoryHierarchy, addresses_to_lines, dedup_consecutive
+from repro.machine.vpu import VPUModel
+from repro.machine.cpu import Machine, strip_lengths
+from repro.machine.machines import MACHINES, MN4_AVX512, RISCV_VEC, SX_AURORA, get_machine
+
+__all__ = [
+    "CacheParams",
+    "MachineParams",
+    "MemoryParams",
+    "ScalarParams",
+    "VPUParams",
+    "Cache",
+    "MemoryHierarchy",
+    "addresses_to_lines",
+    "dedup_consecutive",
+    "VPUModel",
+    "Machine",
+    "strip_lengths",
+    "MACHINES",
+    "MN4_AVX512",
+    "RISCV_VEC",
+    "SX_AURORA",
+    "get_machine",
+]

@@ -1,0 +1,222 @@
+"""The machine: executes compiled kernels and accumulates counters.
+
+``Machine.execute_kernel`` walks the blocks produced by
+:mod:`repro.compiler.codegen` against one :class:`~repro.compiler.program.
+KernelInstance` (a chunk of mesh elements) and charges cycles and
+instruction counts into :class:`~repro.metrics.counters.RunCounters`.
+
+Two performance properties of the implementation matter:
+
+* block iteration repeats are *analytically* accounted (all iterations of
+  a homogeneous block cost the same base cycles), so simulation cost is
+  proportional to the number of distinct blocks and strips, not to the
+  dynamic instruction count;
+* cache behaviour, which is *not* homogeneous across iterations, is
+  simulated from the real address streams evaluated in NumPy batches.
+
+Vector length selection follows the RVV vector-length-agnostic model:
+the program asks for the remaining trip count and the machine grants at
+most its ``vl_max``, so one compiled program runs unmodified on machines
+with 256-element vectors (RISC-V VEC, SX-Aurora) and 8-element vectors
+(AVX-512), as the paper's portability study requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.isa.instructions import ScalarOp
+from repro.machine.cache import MemoryHierarchy
+from repro.machine.params import MachineParams
+from repro.machine.vpu import VPUModel
+from repro.metrics.counters import PhaseCounters, RunCounters
+from repro.compiler.program import (
+    AccessDesc,
+    Block,
+    CompiledKernel,
+    KernelInstance,
+    ScalarBlock,
+    VectorBlock,
+    byte_addresses,
+    loop_grid,
+)
+
+
+def strip_lengths(total_trip: int, vl_max: int) -> list[int]:
+    """Vector lengths granted strip by strip (VLA semantics)."""
+    full, rem = divmod(total_trip, vl_max)
+    return [vl_max] * full + ([rem] if rem else [])
+
+
+class Machine:
+    """One simulated core (scalar pipeline + optional VPU + caches).
+
+    An optional *tracer* (duck-typed: ``on_block`` / ``on_vector_instrs``,
+    see :class:`repro.trace.tracer.Tracer`) receives timed events for
+    every executed block -- the simulation-side equivalent of running
+    under Extrae + Vehave.
+    """
+
+    def __init__(self, params: MachineParams, cache_enabled: bool = True,
+                 tracer=None):
+        self.params = params
+        self.vpu: Optional[VPUModel] = VPUModel(params.vpu) if params.vpu else None
+        self.mem = MemoryHierarchy(params.memory, enabled=cache_enabled)
+        self.tracer = tracer
+        #: running cycle clock (advances as blocks execute).
+        self.clock = 0.0
+        self._cpi = {
+            ScalarOp.ALU: params.scalar.cpi_alu,
+            ScalarOp.MUL: params.scalar.cpi_mul,
+            ScalarOp.FP: params.scalar.cpi_fp,
+            ScalarOp.FDIV: params.scalar.cpi_fdiv,
+            ScalarOp.LOAD: params.scalar.cpi_load,
+            ScalarOp.STORE: params.scalar.cpi_store,
+            ScalarOp.BRANCH: params.scalar.cpi_branch,
+        }
+
+    def reset_memory(self) -> None:
+        self.mem.reset()
+
+    # ------------------------------------------------------------------
+
+    def _access_penalty(self, desc: AccessDesc, env_vars: tuple[str, ...],
+                        env_extents: tuple[int, ...], instance: KernelInstance,
+                        counters: PhaseCounters) -> float:
+        """Feed one access descriptor's address stream to the caches."""
+        env = loop_grid(env_vars, env_extents)
+        addrs = np.broadcast_to(
+            byte_addresses(desc.ref, env, instance), env_extents or (1,)
+        ).reshape(-1)
+        if desc.weight < 1.0:
+            addrs = addrs[: int(round(addrs.size * desc.weight))]
+        l1_before = self.mem.l1_misses
+        l2_before = self.mem.l2_misses
+        penalty = self.mem.access(addrs)
+        counters.l1_misses += self.mem.l1_misses - l1_before
+        counters.l2_misses += self.mem.l2_misses - l2_before
+        counters.mem_element_accesses += addrs.size
+        return penalty
+
+    # ------------------------------------------------------------------
+
+    def _exec_scalar_block(self, block: ScalarBlock, instance: KernelInstance,
+                           counters: PhaseCounters) -> None:
+        trips = block.trips
+        cycles_per_iter = 0.0
+        instr_per_iter = 0.0
+        mem_instr_per_iter = 0.0
+        for op, n in block.counts:
+            cycles_per_iter += n * self._cpi[op]
+            instr_per_iter += n
+            if op in (ScalarOp.LOAD, ScalarOp.STORE):
+                mem_instr_per_iter += n
+        cycles = trips * cycles_per_iter
+        for desc in block.accesses:
+            cycles += self._access_penalty(
+                desc, block.loop_vars, block.loop_extents, instance, counters)
+        counters.cycles_total += cycles
+        counters.instr_scalar += trips * instr_per_iter
+        counters.instr_scalar_mem += trips * mem_instr_per_iter
+        counters.flops += trips * block.flops_per_iter
+
+    def _exec_vector_block(self, block: VectorBlock, instance: KernelInstance,
+                           counters: PhaseCounters) -> None:
+        if self.vpu is None:
+            raise RuntimeError(
+                f"machine {self.params.name!r} has no VPU but the program "
+                f"contains vector block {block.label!r}"
+            )
+        vpu = self.vpu
+        repeats = block.repeats
+        vls = strip_lengths(block.total_trip, self.params.vpu.vl_max)
+
+        # Per-repeat base cost is identical across repeats: compute once.
+        cycles_vec = 0.0
+        n_arith = n_mem = n_ctrl = 0
+        vl_sum = 0.0
+        flops = 0.0
+        for vl in vls:
+            for desc in block.instrs:
+                c = vpu.instr_cycles(desc.spec, vl)
+                cycles_vec += c
+                vl_sum += vl
+                counters.vl_hist[vl] += repeats
+                if desc.spec.is_arith:
+                    n_arith += 1
+                    flops += desc.spec.flops_per_elem * vl
+                elif desc.spec.is_memory:
+                    n_mem += 1
+                else:
+                    n_ctrl += 1
+        n_strips = len(vls)
+        config_cycles = n_strips * (
+            vpu.config_cycles() + self.params.vpu.strip_stall_cycles)
+
+        if self.tracer is not None:
+            records = [("vsetvl", vl, repeats) for vl in vls]
+            records += [
+                (desc.spec.opcode, vl, repeats)
+                for vl in vls for desc in block.instrs
+            ]
+            self.tracer.on_vector_instrs(block.phase, self.clock, records)
+
+        scalar_cycles = 0.0
+        scalar_instr = 0.0
+        scalar_mem_instr = 0.0
+        for op, n in block.scalar_counts_per_strip:
+            scalar_cycles += n * self._cpi[op] * n_strips
+            scalar_instr += n * n_strips
+            if op in (ScalarOp.LOAD, ScalarOp.STORE):
+                scalar_mem_instr += n * n_strips
+
+        counters.cycles_total += repeats * (cycles_vec + config_cycles + scalar_cycles)
+        counters.cycles_vector += repeats * cycles_vec
+        counters.instr_vector_arith += repeats * n_arith
+        counters.instr_vector_mem += repeats * n_mem
+        counters.instr_vector_ctrl += repeats * n_ctrl
+        counters.instr_vconfig += repeats * n_strips
+        counters.instr_scalar += repeats * scalar_instr
+        counters.instr_scalar_mem += repeats * scalar_mem_instr
+        counters.vl_sum += repeats * vl_sum
+        counters.flops += repeats * flops
+
+        # Cache simulation over the full (repeats x trip) address stream.
+        vl_avg = block.total_trip / n_strips
+        exposure = self.params.vpu.miss_exposure(vl_avg)
+        env_vars = block.loop_vars + (block.vec_var,)
+        env_extents = block.loop_extents + (block.total_trip,)
+        for desc in block.instrs:
+            if desc.access is None:
+                continue
+            penalty = self._access_penalty(
+                desc.access, env_vars, env_extents, instance, counters)
+            counters.cycles_total += penalty * exposure
+            counters.cycles_vector += penalty * exposure
+
+    # ------------------------------------------------------------------
+
+    def execute_kernel(self, compiled: CompiledKernel, instance: KernelInstance,
+                       run: RunCounters) -> None:
+        """Execute one compiled kernel over one instance (chunk)."""
+        counters = run.phase(compiled.phase)
+        for block in compiled.blocks:
+            t0 = self.clock
+            before = counters.cycles_total
+            if isinstance(block, VectorBlock):
+                self._exec_vector_block(block, instance, counters)
+                kind = "vector"
+            else:
+                self._exec_scalar_block(block, instance, counters)
+                kind = "scalar"
+            delta = counters.cycles_total - before
+            self.clock += delta
+            if self.tracer is not None:
+                self.tracer.on_block(block.phase, block.label, kind, t0, delta)
+
+    def execute_program(self, kernels: list[CompiledKernel],
+                        instance: KernelInstance, run: RunCounters) -> None:
+        for k in kernels:
+            self.execute_kernel(k, instance, run)

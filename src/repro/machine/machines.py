@@ -1,0 +1,230 @@
+"""Platform presets (the paper's Table 2, per core).
+
+Three machines are modelled:
+
+* ``RISCV_VEC`` -- the EPI RISC-V prototype: SemiDynamics Avispado scalar
+  core + BSC Vitruvius VPU (RVV 0.7.1), 16-kbit registers = 256 double
+  precision elements, 8 lanes, 50 MHz on the VCU128 FPGA, 1 MB L2.
+  Includes the FSM grouping quirk (40-element groups) responsible for the
+  VECTOR_SIZE = 240 sweet spot.
+* ``SX_AURORA`` -- one NEC SX-Aurora VE20B vector core: same 256-element
+  vector length, 32 FMA pipes per instruction stream (a VL=256 FMA
+  graduates in 8 cycles), 120 B/cycle of bandwidth, and a comparatively
+  weak scalar unit -- which is why the paper sees non-vectorized phase 8
+  dominate at large VECTOR_SIZE on this platform.
+* ``MN4_AVX512`` -- one Intel Xeon Platinum 8160 core (MareNostrum 4):
+  AVX-512, vl_max = 8 doubles, two FMA ports, a strong superscalar
+  pipeline, 11.2 B/cycle of sustained memory bandwidth.
+
+Timing parameters not stated in the paper (cache penalties, scalar CPI)
+are set to representative textbook values; EXPERIMENTS.md discusses their
+calibration.  The experiments only depend on intra-machine cycle ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.machine.params import (
+    CacheParams,
+    MachineParams,
+    MemoryParams,
+    ScalarParams,
+    VPUParams,
+)
+
+KIB = 1024
+MIB = 1024 * KIB
+
+RISCV_VEC = MachineParams(
+    name="RISC-V VEC",
+    isa="RISC-V + RVV v0.7.1",
+    frequency_mhz=50.0,
+    cores_per_socket=1,
+    peak_flops_per_cycle=16.0,
+    compiler="flang 18.0.0",
+    os="Ubuntu 21.04",
+    scalar=ScalarParams(
+        cpi_alu=1.0,
+        cpi_mul=1.5,
+        cpi_fp=1.4,
+        cpi_fdiv=10.0,
+        cpi_load=1.0,
+        cpi_store=1.0,
+        cpi_branch=1.5,
+    ),
+    memory=MemoryParams(
+        l1=CacheParams("L1d", 32 * KIB, line_bytes=64, assoc=8, miss_penalty=10.0),
+        l2=CacheParams("L2", 1 * MIB, line_bytes=64, assoc=8, miss_penalty=40.0),
+        bandwidth_bytes_per_cycle=64.0,
+    ),
+    vpu=VPUParams(
+        vl_max=256,
+        lanes=8,
+        # decode + issue + dispatch to the decoupled VPU; with tiny
+        # vector lengths (the VEC2 AVL=4 case) this fixed cost dominates
+        # and vectorization loses to scalar execution.
+        issue_overhead=12.0,
+        fsm_depth=5,            # 8 lanes x 5 = 40-element FSM groups
+        fsm_flush_cycles=2.0,
+        long_latency_factor=4.0,
+        mem_unit_elems_per_cycle=8.0,      # 64 B/cycle
+        mem_strided_elems_per_cycle=2.0,
+        mem_indexed_elems_per_cycle=1.0,
+        # 256-element accesses pipeline line fetches: little of the miss
+        # latency reaches the critical path.
+        vector_miss_exposure=0.15,
+        strip_stall_cycles=25.0,
+    ),
+)
+
+SX_AURORA = MachineParams(
+    name="SX-Aurora",
+    isa="VE20B",
+    frequency_mhz=1600.0,
+    cores_per_socket=8,
+    peak_flops_per_cycle=192.0,
+    compiler="nfort 5.0.2",
+    os="VEOS",
+    # The VE scalar unit is served by the same ISA but is not the machine's
+    # strength; non-vector code runs noticeably worse than on x86.
+    scalar=ScalarParams(
+        cpi_alu=1.2,
+        cpi_mul=2.5,
+        cpi_fp=2.5,
+        cpi_fdiv=16.0,
+        cpi_load=1.8,
+        cpi_store=1.8,
+        cpi_branch=2.0,
+    ),
+    memory=MemoryParams(
+        l1=CacheParams("L1d", 32 * KIB, line_bytes=128, assoc=8, miss_penalty=12.0),
+        l2=CacheParams("L2", 512 * KIB, line_bytes=128, assoc=8, miss_penalty=45.0),
+        bandwidth_bytes_per_cycle=120.0,
+    ),
+    vpu=VPUParams(
+        vl_max=256,
+        lanes=32,               # a VL=256 FMA graduates in 8 cycles
+        issue_overhead=6.0,
+        fsm_depth=None,         # no Vitruvius FSM quirk
+        long_latency_factor=4.0,
+        mem_unit_elems_per_cycle=15.0,     # 120 B/cycle
+        mem_strided_elems_per_cycle=4.0,
+        mem_indexed_elems_per_cycle=1.5,
+        vector_miss_exposure=0.2,
+        strip_stall_cycles=8.0,
+    ),
+)
+
+MN4_AVX512 = MachineParams(
+    name="MareNostrum 4",
+    isa="Intel x86",
+    frequency_mhz=2100.0,
+    cores_per_socket=24,
+    peak_flops_per_cycle=32.0,
+    compiler="ifort 2018.4",
+    os="Suse 12 SP2",
+    # Wide out-of-order core: several scalar instructions retire per cycle.
+    scalar=ScalarParams(
+        cpi_alu=0.35,
+        cpi_mul=0.8,
+        cpi_fp=0.5,
+        cpi_fdiv=6.0,
+        cpi_load=0.5,
+        cpi_store=0.6,
+        cpi_branch=0.5,
+    ),
+    memory=MemoryParams(
+        l1=CacheParams("L1d", 32 * KIB, line_bytes=64, assoc=8, miss_penalty=10.0),
+        l2=CacheParams("L2", 1 * MIB, line_bytes=64, assoc=16, miss_penalty=45.0),
+        bandwidth_bytes_per_cycle=11.2,
+    ),
+    vpu=VPUParams(
+        vl_max=8,               # AVX-512: 8 double-precision elements
+        lanes=8,
+        issue_overhead=0.0,     # SIMD instructions issue like scalar ones
+        fsm_depth=None,
+        long_latency_factor=6.0,
+        mem_unit_elems_per_cycle=16.0,     # two 64 B loads per cycle from L1
+        mem_strided_elems_per_cycle=4.0,
+        mem_indexed_elems_per_cycle=2.0,   # AVX-512 gathers
+        control_lane_cycles=1.0,
+        config_cycles=0.0,      # no vsetvl on x86; config is free
+        # 8-element SIMD accesses cannot hide much miss latency (the
+        # out-of-order window helps some).
+        vector_miss_exposure=0.8,
+        strip_stall_cycles=0.0,   # SIMD is not decoupled on x86
+    ),
+)
+
+#: Fujitsu A64FX (Fugaku) -- the Arm SVE platform of the paper's related
+#: work (Sato et al. / Banchelli et al., §6).  512-bit SVE = 8 double
+#: precision elements, two FMA pipes, HBM2 bandwidth.  Included to
+#: extend the portability matrix beyond the paper's three platforms.
+A64FX = MachineParams(
+    name="A64FX",
+    isa="Armv8.2-A + SVE",
+    frequency_mhz=2200.0,
+    cores_per_socket=48,
+    peak_flops_per_cycle=32.0,
+    compiler="fcc 4.5",
+    os="RHEL 8",
+    scalar=ScalarParams(
+        cpi_alu=0.6,
+        cpi_mul=1.0,
+        cpi_fp=0.8,
+        cpi_fdiv=9.0,
+        cpi_load=0.7,
+        cpi_store=0.8,
+        cpi_branch=0.8,
+    ),
+    memory=MemoryParams(
+        l1=CacheParams("L1d", 64 * KIB, line_bytes=256, assoc=4, miss_penalty=11.0),
+        l2=CacheParams("L2", 8 * MIB, line_bytes=256, assoc=16, miss_penalty=35.0),
+        bandwidth_bytes_per_cycle=46.0,   # ~1 TB/s HBM2 shared by 48 cores... per-core L2 path
+    ),
+    vpu=VPUParams(
+        vl_max=8,                # 512-bit SVE, double precision
+        lanes=8,
+        issue_overhead=0.0,
+        fsm_depth=None,
+        long_latency_factor=6.0,
+        mem_unit_elems_per_cycle=16.0,
+        mem_strided_elems_per_cycle=3.0,
+        mem_indexed_elems_per_cycle=1.0,  # SVE gathers are slow on A64FX
+        control_lane_cycles=1.0,
+        config_cycles=0.5,       # whilelt predication
+        vector_miss_exposure=0.7,
+        strip_stall_cycles=0.0,
+    ),
+)
+
+#: The co-design feedback loop, closed: the paper ends by reporting the
+#: multiple-of-40 insight "to the hardware team designing the RISC-V VEC
+#: system, encouraging addressing this micro-architectural insight in
+#: future RISC-V VEC prototypes".  This preset models such a next
+#: prototype: the element FSM drains partial groups at full lane rate
+#: with no flush penalty, so the full 256-element vector length is the
+#: optimum again (see benchmarks/test_next_prototype.py).
+RISCV_VEC_NEXT = replace(
+    RISCV_VEC,
+    name="RISC-V VEC (next)",
+    vpu=replace(RISCV_VEC.vpu, fsm_depth=None, fsm_flush_cycles=0.0),
+)
+
+#: machines keyed by short name, as used by the experiment configs.
+MACHINES: dict[str, MachineParams] = {
+    "riscv_vec": RISCV_VEC,
+    "riscv_vec_next": RISCV_VEC_NEXT,
+    "sx_aurora": SX_AURORA,
+    "mn4_avx512": MN4_AVX512,
+    "a64fx": A64FX,
+}
+
+
+def get_machine(name: str) -> MachineParams:
+    """Look up a machine preset by short name (case-insensitive)."""
+    key = name.lower()
+    if key not in MACHINES:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINES)}")
+    return MACHINES[key]

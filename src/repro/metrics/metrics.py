@@ -1,0 +1,101 @@
+"""The paper's §2.2 performance metrics.
+
+Defined verbatim on the hardware counters:
+
+* ``M_v = i_v / i_t`` -- vector instruction mix;
+* ``A_v = c_v / c_t`` -- vector activity;
+* ``C_v = c_v / i_v`` -- cycles per vector instruction (vCPI);
+* ``avl = (1/i_v) * sum(vl_k)`` -- average vector length (AVL);
+* ``E_v = avl / vl_max`` -- vector occupancy.
+
+All functions are total: a phase with no vector instructions yields 0
+for every vector metric (matching how the paper plots non-vectorized
+phases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.counters import PhaseCounters
+
+
+def vector_mix(c: PhaseCounters) -> float:
+    """M_v: fraction of executed instructions that are vector."""
+    return c.i_v / c.i_t if c.i_t else 0.0
+
+
+def vector_activity(c: PhaseCounters) -> float:
+    """A_v: fraction of cycles spent executing vector instructions."""
+    return c.c_v / c.c_t if c.c_t else 0.0
+
+
+def vcpi(c: PhaseCounters) -> float:
+    """C_v: cycles per vector instruction."""
+    return c.c_v / c.i_v if c.i_v else 0.0
+
+
+def avl(c: PhaseCounters) -> float:
+    """Average vector length of the executed vector instructions."""
+    return c.vl_sum / c.i_v if c.i_v else 0.0
+
+
+def occupancy(c: PhaseCounters, vl_max: int) -> float:
+    """E_v: average vector length relative to the machine maximum."""
+    if vl_max <= 0:
+        raise ValueError("vl_max must be positive")
+    return avl(c) / vl_max
+
+
+def dcm_per_kiloinstruction(c: PhaseCounters, level: int = 1) -> float:
+    """Data-cache misses per thousand executed instructions.
+
+    One of the two regressors in the paper's Table-6 analysis.
+    """
+    misses = c.l1_misses if level == 1 else c.l2_misses
+    return 1000.0 * misses / c.i_t if c.i_t else 0.0
+
+
+def mem_instruction_ratio(c: PhaseCounters) -> float:
+    """Fraction of executed instructions that access memory.
+
+    The second Table-6 regressor ("percentage of memory instructions").
+    """
+    return c.instr_mem / c.i_t if c.i_t else 0.0
+
+
+@dataclass(frozen=True)
+class PhaseMetrics:
+    """All §2.2 metrics for one phase, precomputed."""
+
+    phase: int
+    m_v: float
+    a_v: float
+    vcpi: float
+    avl: float
+    e_v: float
+    cycles: float
+    instructions: float
+    flops: float
+    l1_misses: int
+    l2_misses: int
+    dcm_per_ki: float
+    mem_ratio: float
+
+    @classmethod
+    def from_counters(cls, c: PhaseCounters, vl_max: int) -> "PhaseMetrics":
+        return cls(
+            phase=c.phase,
+            m_v=vector_mix(c),
+            a_v=vector_activity(c),
+            vcpi=vcpi(c),
+            avl=avl(c),
+            e_v=occupancy(c, vl_max),
+            cycles=c.c_t,
+            instructions=c.i_t,
+            flops=c.flops,
+            l1_misses=c.l1_misses,
+            l2_misses=c.l2_misses,
+            dcm_per_ki=dcm_per_kiloinstruction(c),
+            mem_ratio=mem_instruction_ratio(c),
+        )

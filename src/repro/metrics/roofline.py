@@ -1,0 +1,92 @@
+"""Roofline analysis on the simulated counters.
+
+A standard co-design companion to the paper's §2.2 metrics: each phase
+is placed on the machine's roofline from its measured FLOP count and
+memory traffic, revealing whether it is compute- or bandwidth-bound and
+how far from the achievable ceiling it runs.  The paper reads the same
+information off the vector-activity/vCPI pairs (e.g. "this high
+percentage of memory accesses causes the mini-app not to take fully
+advantage of the computing power of the VPU"); the roofline makes it
+quantitative.
+
+Traffic is counted at element granularity (8 B per access) as seen by
+the core -- the appropriate denominator for an L1-level roofline of a
+gather-heavy kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.params import MachineParams
+from repro.metrics.counters import PhaseCounters, RunCounters
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One phase's position on the roofline."""
+
+    phase: int
+    #: arithmetic intensity [FLOP / byte].
+    intensity: float
+    #: achieved throughput [FLOP / cycle].
+    achieved: float
+    #: the machine ceiling at this intensity [FLOP / cycle].
+    ceiling: float
+    #: True when the bandwidth slope (not the FLOP peak) limits the phase.
+    memory_bound: bool
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the attainable ceiling (0..1)."""
+        return self.achieved / self.ceiling if self.ceiling else 0.0
+
+
+def machine_ridge(machine: MachineParams) -> float:
+    """Arithmetic intensity of the ridge point [FLOP/byte]."""
+    return machine.peak_flops_per_cycle / machine.memory.bandwidth_bytes_per_cycle
+
+
+def phase_roofline(pc: PhaseCounters, machine: MachineParams) -> RooflinePoint:
+    """Place one phase on *machine*'s roofline."""
+    bytes_moved = pc.mem_element_accesses * 8.0
+    intensity = pc.flops / bytes_moved if bytes_moved else 0.0
+    achieved = pc.flops / pc.cycles_total if pc.cycles_total else 0.0
+    bw_ceiling = intensity * machine.memory.bandwidth_bytes_per_cycle
+    ceiling = min(machine.peak_flops_per_cycle, bw_ceiling) if bytes_moved \
+        else machine.peak_flops_per_cycle
+    return RooflinePoint(
+        phase=pc.phase,
+        intensity=intensity,
+        achieved=achieved,
+        ceiling=ceiling,
+        memory_bound=bool(bytes_moved) and bw_ceiling < machine.peak_flops_per_cycle,
+    )
+
+
+def run_roofline(run: RunCounters, machine: MachineParams
+                 ) -> dict[int, RooflinePoint]:
+    """Roofline points for every phase of a run."""
+    return {p: phase_roofline(pc, machine) for p, pc in run.phases.items()}
+
+
+def render_roofline(points: dict[int, RooflinePoint],
+                    machine: MachineParams, width: int = 40) -> str:
+    """ASCII roofline table with efficiency bars."""
+    lines = [
+        f"roofline: {machine.name} "
+        f"(peak {machine.peak_flops_per_cycle:g} FLOP/cyc, "
+        f"bw {machine.memory.bandwidth_bytes_per_cycle:g} B/cyc, "
+        f"ridge {machine_ridge(machine):.2f} FLOP/B)",
+        "",
+        f"{'phase':>5}  {'FLOP/B':>7}  {'achieved':>9}  {'ceiling':>8}  "
+        f"{'bound':>6}  efficiency",
+    ]
+    for p in sorted(points):
+        pt = points[p]
+        bar = "#" * int(round(width * min(pt.efficiency, 1.0)))
+        lines.append(
+            f"{p:>5}  {pt.intensity:>7.3f}  {pt.achieved:>9.3f}  "
+            f"{pt.ceiling:>8.3f}  {'mem' if pt.memory_bound else 'fp':>6}  "
+            f"{bar} {100 * pt.efficiency:.0f}%")
+    return "\n".join(lines)

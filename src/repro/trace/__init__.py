@@ -1,0 +1,17 @@
+"""Tracing toolchain analogues: Extrae-like tracer, Vehave-like vector
+trace, Paraver-like export, and trace-based analysis."""
+
+from repro.trace.events import BlockEvent, VectorInstrEvent
+from repro.trace.tracer import Tracer
+from repro.trace.analysis import PhaseTraceStats, phase_stats, timeline
+from repro.trace import paraver
+
+__all__ = [
+    "BlockEvent",
+    "VectorInstrEvent",
+    "Tracer",
+    "PhaseTraceStats",
+    "phase_stats",
+    "timeline",
+    "paraver",
+]

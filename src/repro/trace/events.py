@@ -1,0 +1,51 @@
+"""Trace event records.
+
+Two event families mirror the paper's tooling:
+
+* :class:`BlockEvent` -- what Extrae-style instrumentation sees: a timed
+  region (block) of one phase with its cycle cost;
+* :class:`VectorInstrEvent` -- what the Vehave emulator records: every
+  vector instruction with its opcode and granted vector length (batched
+  by repeat count, since homogeneous repeats carry no extra
+  information).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import OPCODES, InstrSpec
+
+
+@dataclass(frozen=True)
+class BlockEvent:
+    """One executed block (timed region) of the compiled program."""
+
+    phase: int
+    label: str
+    kind: str          # 'scalar' | 'vector'
+    t_start: float     # cycle timestamp at block entry
+    cycles: float
+
+    @property
+    def t_end(self) -> float:
+        return self.t_start + self.cycles
+
+
+@dataclass(frozen=True)
+class VectorInstrEvent:
+    """A batch of identical dynamic vector instructions."""
+
+    phase: int
+    opcode: str
+    vl: int
+    count: int
+    t: float           # cycle timestamp of the issuing block
+
+    @property
+    def spec(self) -> InstrSpec:
+        return OPCODES[self.opcode]
+
+    @property
+    def elements(self) -> int:
+        return self.vl * self.count

@@ -1,0 +1,72 @@
+"""Paraver-like trace export / import.
+
+The BSC workflow visualizes both Extrae traces and re-arranged Vehave
+traces in Paraver.  This module writes the simulator's trace in a
+Paraver-flavoured text format and parses it back, so traces can be
+stored, diffed and post-processed outside the simulator.
+
+Format (one record per line, ``:``-separated like ``.prv``):
+
+* header: ``#Paraver (repro):<total_cycles>:1:1:1``
+* state record (block): ``1:1:1:1:<t_start>:<t_end>:<phase>``
+* event record (vector instr batch):
+  ``2:1:1:1:<t>:<EVT_OPCODE>:<opcode>:<vl>:<count>:<phase>``
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.trace.events import BlockEvent, VectorInstrEvent
+from repro.trace.tracer import Tracer
+
+HEADER_PREFIX = "#Paraver (repro)"
+STATE_RECORD = "1"
+EVENT_RECORD = "2"
+
+
+def dumps(tracer: Tracer) -> str:
+    """Serialize a trace to the Paraver-like text format."""
+    total = tracer.total_cycles()
+    lines = [f"{HEADER_PREFIX}:{total:.0f}:1:1:1"]
+    for b in tracer.blocks:
+        lines.append(
+            f"{STATE_RECORD}:1:1:1:{b.t_start:.0f}:{b.t_end:.0f}:{b.phase}:{b.kind}:{b.label}")
+    for e in tracer.vector_instrs:
+        lines.append(
+            f"{EVENT_RECORD}:1:1:1:{e.t:.0f}:{e.opcode}:{e.vl}:{e.count}:{e.phase}")
+    return "\n".join(lines) + "\n"
+
+
+def dump(tracer: Tracer, path: str | Path) -> None:
+    Path(path).write_text(dumps(tracer))
+
+
+def loads(text: str) -> Tracer:
+    """Parse a trace back into a :class:`Tracer`."""
+    tracer = Tracer()
+    lines = text.strip().splitlines()
+    if not lines or not lines[0].startswith(HEADER_PREFIX):
+        raise ValueError("not a repro Paraver trace (bad header)")
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        parts = line.split(":")
+        if parts[0] == STATE_RECORD:
+            _, _, _, _, t0, t1, phase, kind, label = parts
+            tracer.blocks.append(BlockEvent(
+                phase=int(phase), label=label, kind=kind,
+                t_start=float(t0), cycles=float(t1) - float(t0)))
+        elif parts[0] == EVENT_RECORD:
+            _, _, _, _, t, opcode, vl, count, phase = parts
+            tracer.vector_instrs.append(VectorInstrEvent(
+                phase=int(phase), opcode=opcode, vl=int(vl),
+                count=int(count), t=float(t)))
+        else:
+            raise ValueError(f"unknown record type {parts[0]!r}")
+    return tracer
+
+
+def load(path: str | Path) -> Tracer:
+    return loads(Path(path).read_text())

@@ -1,0 +1,85 @@
+"""Tests for the HEX08 finite-element basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfd.elements import (
+    NDIME,
+    NGAUS,
+    PNODE,
+    gauss_points_1d,
+    hex08_basis,
+    shape_q1,
+    shape_q1_deriv,
+)
+
+unit_xi = st.tuples(*[st.floats(min_value=-1.0, max_value=1.0) for _ in range(3)])
+
+
+def test_gauss_points_1d():
+    pts, wts = gauss_points_1d()
+    assert wts.sum() == pytest.approx(2.0)
+    # the 2-point rule integrates cubics exactly: int x^2 = 2/3
+    assert (wts * pts**2).sum() == pytest.approx(2.0 / 3.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(unit_xi)
+def test_partition_of_unity(xi):
+    vals = shape_q1(np.array(xi))
+    assert vals.sum() == pytest.approx(1.0, abs=1e-12)
+    assert np.all(vals >= -1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(unit_xi)
+def test_derivatives_sum_to_zero(xi):
+    """d/dxi of sum(N_a) == 0 since the shape functions sum to 1."""
+    der = shape_q1_deriv(np.array(xi))
+    np.testing.assert_allclose(der.sum(axis=1), 0.0, atol=1e-12)
+
+
+def test_kronecker_delta_at_nodes():
+    from repro.cfd.elements import _NODE_XI
+
+    for a in range(PNODE):
+        vals = shape_q1(_NODE_XI[a])
+        expected = np.zeros(PNODE)
+        expected[a] = 1.0
+        np.testing.assert_allclose(vals, expected, atol=1e-12)
+
+
+def test_basis_tables_shapes_and_weights():
+    basis = hex08_basis()
+    assert basis.shapf.shape == (PNODE, NGAUS)
+    assert basis.deriv.shape == (NDIME, PNODE, NGAUS)
+    assert basis.weigp.sum() == pytest.approx(8.0)  # reference volume
+    # partition of unity at every Gauss point
+    np.testing.assert_allclose(basis.shapf.sum(axis=0), 1.0, atol=1e-12)
+
+
+def test_derivative_finite_difference():
+    xi = np.array([0.2, -0.3, 0.5])
+    der = shape_q1_deriv(xi)
+    h = 1e-7
+    for d in range(NDIME):
+        e = np.zeros(3)
+        e[d] = h
+        fd = (shape_q1(xi + e) - shape_q1(xi - e)) / (2 * h)
+        np.testing.assert_allclose(der[d], fd, atol=1e-6)
+
+
+def test_quadrature_integrates_trilinear_exactly():
+    """int over [-1,1]^3 of x*y*z weighted by N_a is integrated exactly
+    by the 2x2x2 rule; check a simple monomial instead: int x^2 y^2 z^2."""
+    basis = hex08_basis()
+    pts, _ = gauss_points_1d()
+    total = 0.0
+    g = 0
+    for kz in range(2):
+        for ky in range(2):
+            for kx in range(2):
+                total += basis.weigp[g] * (pts[kx]**2 * pts[ky]**2 * pts[kz]**2)
+                g += 1
+    assert total == pytest.approx((2.0 / 3.0) ** 3)

@@ -1,0 +1,61 @@
+"""Tests for the global field initialization."""
+
+import numpy as np
+import pytest
+
+from repro.cfd.elements import NDIME, NDOFN, NGAUS
+from repro.cfd.fields import make_global_fields, taylor_green_unkno
+from repro.cfd.mesh import box_mesh
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return box_mesh(3, 3, 3)
+
+
+def test_unkno_shapes_and_nonzero(mesh):
+    u = taylor_green_unkno(mesh.coord)
+    assert u.shape == (mesh.npoin, NDOFN)
+    # non-degenerate on grid-aligned coordinates
+    assert np.abs(u[:, :3]).max() > 0.1
+    assert np.all(np.isfinite(u))
+
+
+def test_fields_shapes_and_padding(mesh):
+    padded_nelem = 32  # 27 elements padded to 32
+    f = make_global_fields(mesh, padded_nelem)
+    assert f["tesgs"].shape == (padded_nelem, NDIME, NGAUS)
+    assert f["tesgs_old"].shape == (padded_nelem, NDIME, NGAUS)
+    assert f["dtinv_fld"].shape == (padded_nelem,)
+    assert f["chale_fld"].shape == (padded_nelem,)
+    assert f["unkno"].shape == (mesh.npoin, NDOFN)
+    assert f["unkno_old"].shape == (mesh.npoin, NDIME)
+    assert f["rhsid"].shape == (mesh.npoin, NDOFN)
+    # padding replicates the last real element
+    np.testing.assert_array_equal(f["tesgs"][27], f["tesgs"][26])
+
+
+def test_fields_deterministic_by_seed(mesh):
+    a = make_global_fields(mesh, 27, seed=3)
+    b = make_global_fields(mesh, 27, seed=3)
+    c = make_global_fields(mesh, 27, seed=4)
+    np.testing.assert_array_equal(a["tesgs"], b["tesgs"])
+    assert not np.array_equal(a["tesgs"], c["tesgs"])
+
+
+def test_chale_matches_uniform_mesh(mesh):
+    """On a unit box of 3^3 elements every cell is (1/3)^3: h = 1/3."""
+    f = make_global_fields(mesh, 27)
+    np.testing.assert_allclose(f["chale_fld"], 1.0 / 3.0, rtol=1e-12)
+
+
+def test_material_tables_scale(mesh):
+    f = make_global_fields(mesh, 27, nmate=3, density=2.0, viscosity=0.5)
+    assert f["densi_mat"].shape == (3,)
+    assert f["densi_mat"][0] == pytest.approx(2.0)
+    assert f["visco_mat"][0] == pytest.approx(0.5)
+
+
+def test_rhsid_starts_zero(mesh):
+    f = make_global_fields(mesh, 27)
+    assert np.all(f["rhsid"] == 0.0)

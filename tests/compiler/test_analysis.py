@@ -1,0 +1,120 @@
+"""Tests for the vectorization legality rules (R1-R5)."""
+
+import pytest
+
+from repro.compiler.analysis import body_is_pure_copy, check_loop, refs_in_expr
+from repro.compiler.flags import PAPER_FLAGS, CompilerFlags
+from repro.compiler.ir import (
+    Array,
+    Assign,
+    Cond,
+    Const,
+    Extent,
+    If,
+    Indirect,
+    Load,
+    Loop,
+    Ref,
+    const_idx,
+    var,
+)
+
+A = Array("a", (64,))
+B = Array("b", (64,))
+IDX = Array("idx", (64,), dtype="i8")
+G = Array("g", (1000,))
+
+
+def loop(body, extent=None, varname="i"):
+    return Loop(varname, extent or Extent(64, "param", "VS"), tuple(body))
+
+
+def copy_stmt():
+    return Assign(Ref(A, (var("i"),)), Load(Ref(B, (var("i"),))))
+
+
+def blocker_codes(lp, enclosing=(), flags=PAPER_FLAGS):
+    return [b.code for b in check_loop(lp, enclosing, flags)]
+
+
+def test_clean_copy_loop_is_legal():
+    assert blocker_codes(loop([copy_stmt()])) == []
+
+
+def test_r1_runtime_dummy_own_extent():
+    lp = loop([copy_stmt()], extent=Extent(64, "runtime_dummy", "VECTOR_DIM"))
+    codes = blocker_codes(lp)
+    assert codes == ["R1-runtime-trip-count"]
+
+
+def test_r1_runtime_dummy_enclosing_extent():
+    """The original phase-2 situation: the *outer* loop's dummy bound
+    poisons the whole nest."""
+    inner = loop([copy_stmt()], varname="j", extent=Extent(4))
+    outer = Loop("i", Extent(64, "runtime_dummy", "VECTOR_DIM"), (inner,))
+    assert "R1-runtime-trip-count" in blocker_codes(inner, enclosing=(outer,))
+
+
+def test_r2_control_flow():
+    guarded = If(Cond("ne", Load(Ref(B, (var("i"),))), Const(0.0)),
+                 (copy_stmt(),))
+    assert "R2-control-flow" in blocker_codes(loop([guarded]))
+
+
+def test_r3_scatter_store_blocked():
+    """The phase-8 situation: indexed store may carry conflicts."""
+    scatter = Assign(Ref(G, (Indirect(IDX, (var("i"),)),)),
+                     Load(Ref(A, (var("i"),))), accumulate=True)
+    assert "R3-may-alias-scatter" in blocker_codes(loop([scatter]))
+
+
+def test_gather_load_is_legal():
+    gather = Assign(Ref(A, (var("i"),)),
+                    Load(Ref(G, (Indirect(IDX, (var("i"),)),))))
+    assert blocker_codes(loop([gather])) == []
+
+
+def test_r4_strided_needs_flag():
+    m = Array("m", (64, 4))
+    strided = Assign(Ref(m, (const_idx(0), var("i"))),
+                     Load(Ref(A, (var("i"),))))
+    no_strided = PAPER_FLAGS.with_(vectorizer_use_vp_strided=False)
+    assert "R4-strided-store" in blocker_codes(loop([strided]), flags=no_strided)
+    assert blocker_codes(loop([strided])) == []  # Table-1 flag allows it
+
+
+def test_r4_strided_load_needs_flag():
+    m = Array("m", (64, 4))
+    stmt = Assign(Ref(A, (var("i"),)),
+                  Load(Ref(m, (const_idx(0), var("i")))))
+    no_strided = PAPER_FLAGS.with_(vectorizer_use_vp_strided=False)
+    assert "R4-strided-load" in blocker_codes(loop([stmt]), flags=no_strided)
+
+
+def test_r5_reduction_needs_contraction():
+    scalar_target = Array("s", (1,))
+    red = Assign(Ref(scalar_target, (const_idx(0),)),
+                 Load(Ref(A, (var("i"),))), accumulate=True)
+    strict = PAPER_FLAGS.with_(ffp_contract_fast=False)
+    assert "R5-reduction" in blocker_codes(loop([red]), flags=strict)
+    assert blocker_codes(loop([red])) == []
+
+
+def test_r5_uniform_store_blocked():
+    scalar_target = Array("s", (1,))
+    st = Assign(Ref(scalar_target, (const_idx(0),)), Load(Ref(A, (var("i"),))))
+    assert "R5-uniform-store" in blocker_codes(loop([st]))
+
+
+def test_body_is_pure_copy():
+    assert body_is_pure_copy(loop([copy_stmt()]))
+    assert not body_is_pure_copy(loop([Assign(Ref(A, (var("i"),)), Const(0.0))]))
+    acc = Assign(Ref(A, (var("i"),)), Load(Ref(B, (var("i"),))), accumulate=True)
+    assert not body_is_pure_copy(loop([acc]))
+    assert not body_is_pure_copy(loop([]))
+
+
+def test_refs_in_expr_includes_gather_index_arrays():
+    gather = Load(Ref(G, (Indirect(IDX, (var("i"),)),)))
+    names = {r.array.name for r in refs_in_expr(gather)}
+    assert names == {"g", "idx"}

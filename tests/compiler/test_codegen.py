@@ -1,0 +1,148 @@
+"""Tests for code generation: lowering kernels to machine blocks."""
+
+import pytest
+
+from repro.compiler.codegen import lower_kernel
+from repro.compiler.flags import PAPER_FLAGS
+from repro.compiler.ir import (
+    Array,
+    Assign,
+    BinOp,
+    Cond,
+    Const,
+    Extent,
+    If,
+    Indirect,
+    Kernel,
+    Load,
+    Loop,
+    Ref,
+    const_idx,
+    var,
+)
+from repro.compiler.program import ScalarBlock, VectorBlock
+from repro.compiler.vectorizer import vectorize_kernel
+from repro.isa.instructions import MemPattern, ScalarOp
+
+A = Array("a", (256,))
+B = Array("b", (256,))
+M = Array("m", (256, 4))
+IDX = Array("idx", (256,), dtype="i8")
+G = Array("g", (5000,))
+
+
+def lower(kern, flags=PAPER_FLAGS):
+    return lower_kernel(vectorize_kernel(kern, flags).kernel, flags)
+
+
+def vloop(body, n=256):
+    return Loop("i", Extent(n, "param", "VS"), tuple(body))
+
+
+def test_vectorized_copy_lowering():
+    k = Kernel("k", 1, (vloop([Assign(Ref(A, (var("i"),)), Load(Ref(B, (var("i"),))))]),))
+    compiled = lower(k)
+    vblocks = compiled.vector_blocks()
+    assert len(vblocks) == 1
+    vb = vblocks[0]
+    assert vb.total_trip == 256
+    opcodes = [d.spec.opcode for d in vb.instrs]
+    assert opcodes == ["vle", "vse"]
+
+
+def test_gather_lowering_emits_index_load_and_shift():
+    stmt = Assign(Ref(A, (var("i"),)),
+                  Load(Ref(G, (Indirect(IDX, (var("i"),)),))))
+    compiled = lower(Kernel("k", 1, (vloop([stmt]),)))
+    vb = compiled.vector_blocks()[0]
+    opcodes = [d.spec.opcode for d in vb.instrs]
+    # index vector load, control-lane shift, indexed gather, store
+    assert opcodes == ["vle", "vext", "vlxe", "vse"]
+
+
+def test_strided_refs_lower_to_strided_ops():
+    stmt = Assign(Ref(M, (const_idx(0), var("i"))),   # stride 256 along i
+                  Load(Ref(A, (var("i"),))))
+    compiled = lower(Kernel("k", 1, (vloop([stmt]),)))
+    vb = compiled.vector_blocks()[0]
+    stores = [d for d in vb.instrs if d.spec.is_store]
+    assert stores[0].spec.mem_pattern is MemPattern.STRIDED
+
+
+def test_uniform_operand_becomes_scalar_load():
+    w = Array("w", (8,))
+    stmt = Assign(Ref(A, (var("i"),)),
+                  BinOp("mul", Load(Ref(w, (const_idx(3),))), Load(Ref(B, (var("i"),)))))
+    compiled = lower(Kernel("k", 1, (vloop([stmt]),)))
+    vb = compiled.vector_blocks()[0]
+    # the w load is NOT a vector instruction
+    assert all(d.access is None or d.access.ref.array.name != "w" for d in vb.instrs)
+    assert dict(vb.scalar_counts_per_strip)[ScalarOp.LOAD] >= 1
+    # a companion scalar block performs the uniform load (for the caches)
+    labels = [b.label for b in compiled.scalar_blocks()]
+    assert any("uniform" in l for l in labels)
+
+
+def test_fma_contraction_in_vector_code():
+    stmt = Assign(Ref(A, (var("i"),)),
+                  BinOp("add", BinOp("mul", Load(Ref(B, (var("i"),))),
+                                     Load(Ref(B, (var("i"),)))),
+                        Load(Ref(A, (var("i"),)))))
+    compiled = lower(Kernel("k", 1, (vloop([stmt]),)))
+    vb = compiled.vector_blocks()[0]
+    assert sum(1 for d in vb.instrs if d.spec.opcode == "vfmadd") == 1
+
+
+def test_scalar_loop_control_includes_dummy_reload():
+    """A runtime_dummy bound re-loads the trip count every iteration."""
+    k = Kernel("k", 1, (
+        Loop("i", Extent(64, "runtime_dummy", "VECTOR_DIM"),
+             (Assign(Ref(A, (var("i"),)), Const(0.0)),)),
+    ))
+    compiled = lower(k)
+    ctl = [b for b in compiled.scalar_blocks() if "loop-control" in b.label]
+    assert len(ctl) == 1
+    assert dict(ctl[0].counts).get(ScalarOp.LOAD, 0) == 1.0
+
+
+def test_vectorized_loop_emits_no_per_iteration_control():
+    k = Kernel("k", 1, (vloop([Assign(Ref(A, (var("i"),)), Load(Ref(B, (var("i"),))))]),))
+    compiled = lower(k)
+    assert not any("loop-control(i)" in b.label for b in compiled.scalar_blocks())
+
+
+def test_if_guard_scales_weights():
+    guarded = If(Cond("ne", Load(Ref(B, (var("i"),))), Const(0.0)),
+                 (Assign(Ref(A, (var("i"),)), Const(1.0)),), est_taken=0.25)
+    k = Kernel("k", 1, (Loop("i", Extent(64), (guarded,)),))
+    compiled = lower(k)
+    guarded_blocks = [b for b in compiled.scalar_blocks()
+                      if b.label == "straight-line" and b.accesses]
+    assert guarded_blocks
+    assert all(a.weight == pytest.approx(0.25)
+               for b in guarded_blocks for a in b.accesses if a.is_store)
+    # the guard itself costs a compare + branch at full weight
+    ifb = [b for b in compiled.scalar_blocks() if b.label == "if-guard"]
+    assert len(ifb) == 1
+    assert dict(ifb[0].counts)[ScalarOp.BRANCH] == 1.0
+
+
+def test_scalar_gather_pays_indirect_addressing():
+    stmt = Assign(Ref(A, (var("i"),)),
+                  Load(Ref(G, (Indirect(IDX, (var("i"),)),))))
+    k = Kernel("k", 1, (Loop("i", Extent(64), (stmt,)),))
+    compiled = lower(k, PAPER_FLAGS.with_(mepi=False))  # force scalar path
+    body = [b for b in compiled.scalar_blocks() if b.label == "straight-line"][0]
+    counts = dict(body.counts)
+    assert counts[ScalarOp.MUL] >= 1  # index scaling
+    assert counts[ScalarOp.LOAD] == 2  # idx + gathered value
+
+
+def test_nested_scalar_loops_extents():
+    inner = Loop("j", Extent(4), (Assign(Ref(M, (var("i"), var("j"))), Const(0.0)),))
+    k = Kernel("k", 1, (Loop("i", Extent(256), (inner,)),))
+    compiled = lower(k, PAPER_FLAGS.with_(mepi=False))
+    body = [b for b in compiled.scalar_blocks() if b.label == "straight-line"][0]
+    assert body.loop_vars == ("i", "j")
+    assert body.loop_extents == (256, 4)
+    assert body.trips == 1024

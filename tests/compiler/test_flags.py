@@ -1,0 +1,53 @@
+"""Tests for the compiler-flag model."""
+
+import pytest
+
+from repro.compiler.flags import PAPER_FLAGS, SCALAR_FLAGS, TABLE1_ROWS, CompilerFlags
+
+
+def test_paper_flags_enable_vectorization():
+    assert PAPER_FLAGS.vectorize_enabled
+    assert PAPER_FLAGS.ffp_contract_fast
+    assert PAPER_FLAGS.vectorizer_use_vp_strided
+
+
+def test_scalar_flags_disable_vectorization():
+    assert not SCALAR_FLAGS.vectorize_enabled
+
+
+def test_low_opt_disables_vectorization():
+    assert not CompilerFlags(opt_level=1).vectorize_enabled
+    assert CompilerFlags(opt_level=2).vectorize_enabled
+
+
+def test_copy_loop_bypass_requires_table1_combo():
+    assert PAPER_FLAGS.copy_loops_bypass_cost_model
+    assert not PAPER_FLAGS.with_(disable_loop_idiom_memcpy=False).copy_loops_bypass_cost_model
+    assert not PAPER_FLAGS.with_(combiner_store_merging=True).copy_loops_bypass_cost_model
+
+
+def test_with_returns_modified_copy():
+    f = PAPER_FLAGS.with_(profit_threshold=9.9)
+    assert f.profit_threshold == 9.9
+    assert PAPER_FLAGS.profit_threshold != 9.9
+    assert f.mepi == PAPER_FLAGS.mepi
+
+
+def test_flags_are_hashable_and_frozen():
+    assert hash(PAPER_FLAGS) == hash(CompilerFlags())
+    with pytest.raises(Exception):
+        PAPER_FLAGS.opt_level = 0  # type: ignore[misc]
+
+
+def test_table1_rows_complete():
+    flags = [r[0] for r in TABLE1_ROWS]
+    assert flags == [
+        "-O3", "-ffp-contract=fast", "-mepi", "-mcpu=avispado",
+        "-combiner-store-merging=0", "-vectorizer-use-vp-strided-load-store",
+        "-disable-loop-idiom-memcpy", "-disable-loop-idiom-memset",
+    ]
+
+
+def test_small_trip_tiers():
+    assert PAPER_FLAGS.small_trip_threshold > 0
+    assert PAPER_FLAGS.small_trip_profit > PAPER_FLAGS.profit_threshold

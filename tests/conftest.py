@@ -1,0 +1,30 @@
+"""Shared fixtures.
+
+Meshes are deliberately tiny: semantics tests interpret the IR element
+by element, and the paper-shape tests in ``benchmarks/`` use the full
+mesh instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfd.mesh import Mesh, box_mesh
+
+
+@pytest.fixture(scope="session")
+def mesh222() -> Mesh:
+    """8 elements, 27 nodes."""
+    return box_mesh(2, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def mesh322() -> Mesh:
+    """12 elements -- odd enough to exercise chunk padding at VS=8."""
+    return box_mesh(3, 2, 2)
+
+
+@pytest.fixture(scope="session")
+def mesh444() -> Mesh:
+    """64 elements, 125 nodes."""
+    return box_mesh(4, 4, 4)

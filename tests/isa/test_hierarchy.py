@@ -1,0 +1,70 @@
+"""Tests for the Figure-1 instruction hierarchy."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.hierarchy import (
+    HierarchyCounts,
+    LEAF_BUCKETS,
+    classify,
+    is_counted_as_vector,
+)
+from repro.isa.instructions import OPCODES, VFMADD, VLE, VMV, VSETVL
+
+
+def test_classify_leaves():
+    assert classify(VSETVL) == "vector_config"
+    assert classify(VFMADD) == "arithmetic"
+    assert classify(VLE) == "memory"
+    assert classify(VMV) == "control_lane"
+
+
+def test_every_opcode_classifies_to_a_leaf():
+    for spec in OPCODES.values():
+        assert classify(spec) in LEAF_BUCKETS
+
+
+def test_vsetvl_not_counted_in_iv():
+    """Vector-configuration instructions count toward i_t, not i_v."""
+    assert not is_counted_as_vector(VSETVL)
+    assert is_counted_as_vector(VFMADD)
+    assert is_counted_as_vector(VMV)
+
+
+def test_counts_add_and_totals():
+    h = HierarchyCounts()
+    h.add(VFMADD, 10)
+    h.add(VLE, 5)
+    h.add(VSETVL, 2)
+    h.add(VMV)
+    assert h.vector == 16
+    assert h.total == 18
+    assert h.as_dict()["vector_config"] == 2
+
+
+_spec_list = st.lists(
+    st.sampled_from(sorted(OPCODES.values(), key=lambda s: s.opcode)),
+    max_size=50,
+)
+
+
+@given(_spec_list, _spec_list)
+def test_merged_equals_sum_of_parts(specs_a, specs_b):
+    a, b = HierarchyCounts(), HierarchyCounts()
+    for s in specs_a:
+        a.add(s)
+    for s in specs_b:
+        b.add(s)
+    merged = a.merged(b)
+    assert merged.total == a.total + b.total
+    assert merged.vector == a.vector + b.vector
+    for bucket in LEAF_BUCKETS:
+        assert getattr(merged, bucket) == getattr(a, bucket) + getattr(b, bucket)
+
+
+@given(_spec_list)
+def test_total_partitions_into_buckets(specs):
+    h = HierarchyCounts()
+    for s in specs:
+        h.add(s)
+    assert h.total == sum(h.as_dict().values())
+    assert h.total == len(specs)

@@ -1,0 +1,73 @@
+"""Unit tests for the instruction descriptors."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ARITH_OPCODES,
+    LOAD_OPCODES,
+    OPCODES,
+    STORE_OPCODES,
+    InstrClass,
+    InstrSpec,
+    MemPattern,
+    VectorKind,
+    VFDIV,
+    VFMADD,
+    VLE,
+    VLXE,
+    VSE,
+    VSETVL,
+)
+
+
+def test_registry_contains_all_specs():
+    assert "vsetvl" in OPCODES
+    assert "vfmadd" in OPCODES
+    assert OPCODES["vle"].mem_pattern is MemPattern.UNIT_STRIDE
+    # opcodes are unique
+    assert len(OPCODES) == len({s.opcode for s in OPCODES.values()})
+
+
+def test_fma_counts_two_flops_per_element():
+    assert VFMADD.flops_per_elem == 2
+    assert ARITH_OPCODES["add"].flops_per_elem == 1
+
+
+def test_long_latency_flags():
+    assert VFDIV.long_latency
+    assert ARITH_OPCODES["sqrt"].long_latency
+    assert not VFMADD.long_latency
+
+
+def test_memory_specs():
+    assert VLE.is_memory and not VLE.is_store
+    assert VSE.is_memory and VSE.is_store
+    assert VLXE.mem_pattern is MemPattern.INDEXED
+    for pattern in MemPattern:
+        assert LOAD_OPCODES[pattern].mem_pattern is pattern
+        assert STORE_OPCODES[pattern].is_store
+
+
+def test_vsetvl_is_config_not_vector():
+    assert VSETVL.iclass is InstrClass.VECTOR_CONFIG
+    assert not VSETVL.is_vector
+
+
+def test_vector_instr_requires_kind():
+    with pytest.raises(ValueError):
+        InstrSpec("bogus", InstrClass.VECTOR)
+
+
+def test_non_vector_instr_rejects_kind():
+    with pytest.raises(ValueError):
+        InstrSpec("bogus", InstrClass.SCALAR, vkind=VectorKind.ARITHMETIC)
+
+
+def test_vector_memory_requires_pattern():
+    with pytest.raises(ValueError):
+        InstrSpec("bogus", InstrClass.VECTOR, vkind=VectorKind.MEMORY)
+
+
+def test_classification_properties():
+    assert VFMADD.is_arith and not VFMADD.is_memory
+    assert VLE.is_vector and VLE.is_memory and not VLE.is_arith

@@ -1,0 +1,76 @@
+"""Cross-validation of the cache simulator against an independent,
+obviously-correct reference implementation.
+
+The production cache (`repro.machine.cache.Cache`) is optimized for
+throughput (per-set lists, consecutive dedup); this oracle is written
+for clarity (OrderedDict-based LRU per set) and the two must agree on
+miss counts and miss *positions* for arbitrary access streams.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.cache import Cache
+from repro.machine.params import CacheParams
+
+
+class OracleLRU:
+    """Textbook set-associative LRU cache."""
+
+    def __init__(self, n_sets: int, assoc: int):
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+
+    def access(self, line: int) -> bool:
+        """Return True on miss."""
+        s = self.sets[line % self.n_sets]
+        if line in s:
+            s.move_to_end(line)
+            return False
+        s[line] = True
+        if len(s) > self.assoc:
+            s.popitem(last=False)
+        return True
+
+
+def reference_misses(lines, n_sets, assoc):
+    oracle = OracleLRU(n_sets, assoc)
+    return [line for line in lines if oracle.access(line)]
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    lines=st.lists(st.integers(0, 127), min_size=0, max_size=400),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+    n_sets_pow=st.integers(0, 4),
+)
+def test_cache_matches_oracle(lines, assoc, n_sets_pow):
+    n_sets = 2 ** n_sets_pow
+    params = CacheParams("t", size_bytes=64 * assoc * n_sets,
+                         line_bytes=64, assoc=assoc)
+    cache = Cache(params)
+    got = cache.access_lines(np.asarray(lines, dtype=np.int64)).tolist()
+    expected = reference_misses(lines, n_sets, assoc)
+    assert got == expected
+    assert cache.misses == len(expected)
+    assert cache.accesses == len(lines)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    a=st.lists(st.integers(0, 63), min_size=1, max_size=150),
+    b=st.lists(st.integers(0, 63), min_size=1, max_size=150),
+)
+def test_split_streams_equal_one_stream(a, b):
+    """Feeding the stream in two batches is identical to one batch
+    (the simulator is stateful across calls)."""
+    params = CacheParams("t", size_bytes=64 * 4 * 8, line_bytes=64, assoc=4)
+    one = Cache(params)
+    one.access_lines(np.asarray(a + b, dtype=np.int64))
+    two = Cache(params)
+    two.access_lines(np.asarray(a, dtype=np.int64))
+    two.access_lines(np.asarray(b, dtype=np.int64))
+    assert one.misses == two.misses

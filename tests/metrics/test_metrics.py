@@ -1,0 +1,82 @@
+"""Tests for the §2.2 metric definitions."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.counters import PhaseCounters
+from repro.metrics.metrics import (
+    PhaseMetrics,
+    avl,
+    dcm_per_kiloinstruction,
+    mem_instruction_ratio,
+    occupancy,
+    vcpi,
+    vector_activity,
+    vector_mix,
+)
+
+
+def counters(i_s=100, i_va=20, i_vm=30, c_t=1000.0, c_v=600.0,
+             vl=128, l1=5, s_mem=40) -> PhaseCounters:
+    pc = PhaseCounters(phase=6)
+    pc.instr_scalar = i_s
+    pc.instr_vector_arith = i_va
+    pc.instr_vector_mem = i_vm
+    pc.instr_scalar_mem = s_mem
+    pc.cycles_total = c_t
+    pc.cycles_vector = c_v
+    pc.vl_sum = (i_va + i_vm) * vl
+    pc.vl_hist = Counter({vl: i_va + i_vm})
+    pc.l1_misses = l1
+    return pc
+
+
+def test_definitions_match_paper():
+    pc = counters()
+    assert vector_mix(pc) == pytest.approx(50 / 150)        # M_v = i_v/i_t
+    assert vector_activity(pc) == pytest.approx(0.6)        # A_v = c_v/c_t
+    assert vcpi(pc) == pytest.approx(600 / 50)              # C_v = c_v/i_v
+    assert avl(pc) == pytest.approx(128.0)
+    assert occupancy(pc, 256) == pytest.approx(0.5)         # E_v = avl/vl_max
+    assert dcm_per_kiloinstruction(pc) == pytest.approx(1000 * 5 / 150)
+    assert mem_instruction_ratio(pc) == pytest.approx((40 + 30) / 150)
+
+
+def test_zero_vector_phase_yields_zero_metrics():
+    pc = counters(i_va=0, i_vm=0, c_v=0.0)
+    pc.vl_sum = 0.0
+    assert vector_mix(pc) == 0.0
+    assert vcpi(pc) == 0.0
+    assert avl(pc) == 0.0
+    assert occupancy(pc, 256) == 0.0
+
+
+def test_occupancy_invalid_vlmax():
+    with pytest.raises(ValueError):
+        occupancy(counters(), 0)
+
+
+def test_phase_metrics_bundle():
+    pm = PhaseMetrics.from_counters(counters(), vl_max=256)
+    assert pm.phase == 6
+    assert pm.m_v == pytest.approx(1 / 3)
+    assert pm.e_v == pytest.approx(0.5)
+    assert pm.cycles == 1000.0
+
+
+@given(
+    st.floats(min_value=1, max_value=1e6),
+    st.floats(min_value=0, max_value=1e6),
+)
+def test_activity_bounded(c_t, c_v_raw):
+    c_v = min(c_v_raw, c_t)
+    pc = counters(c_t=c_t, c_v=c_v)
+    assert 0.0 <= vector_activity(pc) <= 1.0
+
+
+@given(st.integers(min_value=1, max_value=256))
+def test_occupancy_bounded_by_one(vl):
+    pc = counters(vl=vl)
+    assert 0.0 < occupancy(pc, 256) <= 1.0

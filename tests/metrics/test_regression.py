@@ -1,0 +1,82 @@
+"""Tests for the Table-6 multiple linear regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.regression import (
+    cycles_vs_memory_model,
+    linear_regression,
+)
+
+
+def test_exact_linear_model_recovers_coefficients():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((20, 2))
+    y = 3.0 + 2.0 * X[:, 0] - 5.0 * X[:, 1]
+    res = linear_regression(X, y)
+    assert res.intercept == pytest.approx(3.0, abs=1e-9)
+    np.testing.assert_allclose(res.coefficients, [2.0, -5.0], atol=1e-9)
+    assert res.r_squared == pytest.approx(1.0)
+    np.testing.assert_allclose(res.residuals, 0.0, atol=1e-8)
+
+
+def test_noise_lowers_r_squared():
+    rng = np.random.default_rng(1)
+    X = rng.standard_normal((200, 2))
+    y_clean = 1.0 + X[:, 0]
+    y_noisy = y_clean + 5.0 * rng.standard_normal(200)
+    assert linear_regression(X, y_clean).r_squared > 0.999
+    assert linear_regression(X, y_noisy).r_squared < 0.5
+
+
+def test_one_dimensional_predictor():
+    x = np.arange(10.0)
+    res = linear_regression(x, 2 * x + 1)
+    assert res.coefficients[0] == pytest.approx(2.0)
+    assert res.r_squared == pytest.approx(1.0)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        linear_regression(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        linear_regression(np.zeros((2, 2)), np.zeros(2))  # too few samples
+
+
+def test_constant_target_r2_defined():
+    X = np.arange(6.0)[:, None]
+    res = linear_regression(X, np.full(6, 7.0))
+    assert res.r_squared == pytest.approx(1.0)
+
+
+def test_cycles_vs_memory_model_shape():
+    """The exact Table-6 call: two predictors over the VS sweep."""
+    dcm = np.array([1.0, 2.0, 3.0, 5.0, 6.0, 9.0])
+    mem = np.array([0.3, 0.32, 0.35, 0.4, 0.42, 0.5])
+    cycles = 100 + 10 * dcm + 2000 * mem
+    res = cycles_vs_memory_model(cycles, dcm, mem)
+    assert res.r_squared == pytest.approx(1.0)
+    assert len(res.coefficients) == 2
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(min_value=4, max_value=40), st.integers(0, 1000))
+def test_r_squared_bounded(n, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 2))
+    y = rng.standard_normal(n)
+    res = linear_regression(X, y)
+    assert res.r_squared <= 1.0 + 1e-12
+    # with an intercept, R^2 of OLS is non-negative
+    assert res.r_squared >= -1e-10
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(0, 100))
+def test_predictions_plus_residuals_reconstruct_target(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((15, 3))
+    y = rng.standard_normal(15)
+    res = linear_regression(X, y)
+    np.testing.assert_allclose(res.predictions + res.residuals, y, atol=1e-10)

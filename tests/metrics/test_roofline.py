@@ -1,0 +1,92 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.cfd.assembly import MiniApp
+from repro.cfd.mesh import box_mesh
+from repro.machine.machines import MN4_AVX512, RISCV_VEC
+from repro.metrics.counters import PhaseCounters
+from repro.metrics.roofline import (
+    machine_ridge,
+    phase_roofline,
+    render_roofline,
+    run_roofline,
+)
+
+
+def make_counters(flops, accesses, cycles, phase=1) -> PhaseCounters:
+    pc = PhaseCounters(phase=phase)
+    pc.flops = flops
+    pc.mem_element_accesses = accesses
+    pc.cycles_total = cycles
+    return pc
+
+
+def test_ridge_point():
+    # RISC-V VEC: 16 FLOP/cyc / 64 B/cyc = 0.25 FLOP/B
+    assert machine_ridge(RISCV_VEC) == pytest.approx(0.25)
+
+
+def test_memory_bound_phase():
+    # intensity 0.125 FLOP/B < ridge 0.25 -> bandwidth-limited
+    pc = make_counters(flops=1000, accesses=1000, cycles=500)
+    pt = phase_roofline(pc, RISCV_VEC)
+    assert pt.intensity == pytest.approx(0.125)
+    assert pt.memory_bound
+    assert pt.ceiling == pytest.approx(0.125 * 64.0)
+    assert pt.achieved == pytest.approx(2.0)
+    assert 0.0 < pt.efficiency <= 1.0
+
+
+def test_compute_bound_phase():
+    pc = make_counters(flops=100_000, accesses=1000, cycles=10_000)
+    pt = phase_roofline(pc, RISCV_VEC)
+    assert not pt.memory_bound
+    assert pt.ceiling == pytest.approx(RISCV_VEC.peak_flops_per_cycle)
+
+
+def test_zero_traffic_phase():
+    pc = make_counters(flops=100, accesses=0, cycles=10)
+    pt = phase_roofline(pc, RISCV_VEC)
+    assert pt.intensity == 0.0
+    assert not pt.memory_bound
+    assert pt.ceiling == RISCV_VEC.peak_flops_per_cycle
+
+
+def test_miniapp_phases_on_roofline():
+    """The gather phases are memory-bound; the assembly phases have
+    higher intensity than the gathers (on the MN4 roofline, whose ridge
+    at 2.86 FLOP/B makes everything bandwidth-limited)."""
+    app = MiniApp(box_mesh(4, 4, 4), vector_size=32, opt="vec1")
+    run = app.run_timed(RISCV_VEC, cache_enabled=False)
+    points = run_roofline(run, RISCV_VEC)
+    assert set(points) == set(range(1, 9))
+    # gathers do (almost) no arithmetic; the scatter only accumulates
+    assert points[1].intensity < 0.02
+    assert points[2].intensity == 0.0
+    assert points[8].intensity < 0.05
+    # FP-dense phases clearly above the gather/scatter phases
+    for p in (3, 6, 7):
+        assert points[p].intensity > 0.06, p
+        assert points[p].intensity > 2 * points[8].intensity, p
+    # nothing exceeds its ceiling
+    for pt in points.values():
+        assert pt.achieved <= pt.ceiling * 1.0001
+
+
+def test_mn4_everything_memory_bound():
+    app = MiniApp(box_mesh(4, 4, 4), vector_size=32, opt="vec1")
+    run = app.run_timed(MN4_AVX512, cache_enabled=False)
+    points = run_roofline(run, MN4_AVX512)
+    # MN4's ridge is 32/11.2 = 2.86 FLOP/B: FE assembly sits left of it
+    assert machine_ridge(MN4_AVX512) > 2.5
+    assert all(pt.memory_bound or pt.intensity == 0.0
+               for pt in points.values() if pt.intensity < 2.5)
+
+
+def test_render_roofline():
+    pc = make_counters(flops=1000, accesses=1000, cycles=500, phase=3)
+    text = render_roofline({3: phase_roofline(pc, RISCV_VEC)}, RISCV_VEC)
+    assert "ridge" in text
+    assert "mem" in text
+    assert "#" in text

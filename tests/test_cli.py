@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_info(capsys):
+    code, out = run_cli(capsys, "info")
+    assert code == 0
+    assert "RISC-V VEC" in out and "SX-Aurora" in out
+
+
+def test_table1_and_2_static(capsys):
+    code, out = run_cli(capsys, "table", "1")
+    assert code == 0 and "-mepi" in out
+    code, out = run_cli(capsys, "table", "2")
+    assert code == 0 and "Frequency" in out
+
+
+def test_table3_quick_mesh(capsys):
+    code, out = run_cli(capsys, "table", "3", "--mesh", "quick")
+    assert code == 0
+    assert "% of total cycles" in out
+
+
+def test_figure11(capsys):
+    code, out = run_cli(capsys, "figure", "11", "--mesh", "quick")
+    assert code == 0
+    assert "vanilla" in out and "vec1" in out
+
+
+def test_sweep_barchart(capsys):
+    code, out = run_cli(capsys, "sweep", "--mesh", "quick")
+    assert code == 0
+    assert "#" in out and "VECTOR_SIZE = 240" in out
+
+
+def test_remarks(capsys):
+    code, out = run_cli(capsys, "remarks", "--opt", "vanilla", "--vs", "64")
+    assert code == 0
+    assert "blocked" in out and "vectorized" in out
+
+
+def test_advise(capsys):
+    code, out = run_cli(capsys, "advise", "--opt", "vanilla", "--vs", "240")
+    assert code == 0
+    assert "phase 2" in out
+    assert "compile time" in out
+
+
+def test_codesign_loop(capsys):
+    code, out = run_cli(capsys, "codesign", "--vs", "64")
+    assert code == 0
+    assert "vanilla" in out and "vec1" in out and "final:" in out
+
+
+def test_trace_export(tmp_path, capsys):
+    out_file = tmp_path / "t.prv"
+    code, out = run_cli(capsys, "trace", "--opt", "vec1", "--vs", "64",
+                        "-o", str(out_file))
+    assert code == 0
+    assert out_file.exists()
+    assert "trace written" in out
+    from repro.trace import paraver
+
+    trace = paraver.load(out_file)
+    assert trace.blocks
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_bad_table():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table", "9"])
+
+
+def test_roofline_command(capsys):
+    code, out = run_cli(capsys, "roofline", "--opt", "vec1", "--vs", "64")
+    assert code == 0
+    assert "ridge" in out and "phase" in out
+
+
+def test_report_command_to_file(tmp_path, capsys):
+    out_file = tmp_path / "report.txt"
+    code, out = run_cli(capsys, "report", "--mesh", "quick",
+                        "-o", str(out_file))
+    assert code == 0
+    text = out_file.read_text()
+    assert "HEADLINE" in text and "Table 5" in text
+
+
+def test_machine_choices_include_extensions(capsys):
+    code, out = run_cli(capsys, "remarks", "--machine", "a64fx",
+                        "--opt", "vanilla", "--vs", "64")
+    assert code == 0

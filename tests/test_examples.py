@@ -1,0 +1,53 @@
+"""Smoke tests: the runnable examples stay runnable.
+
+Each example is executed as a subprocess (the way a user runs it) and
+its key output lines are checked.  The two sweep examples are exercised
+through their underlying Session in the experiments tests instead (they
+simulate dozens of configurations).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "speed-up vs scalar" in out
+    assert "vectorized" in out
+    # the headline lands in the paper's neighbourhood
+    import re
+
+    m = re.search(r"speed-up vs scalar VECTOR_SIZE=16: (\d+\.\d+)x", out)
+    assert m and 6.0 <= float(m.group(1)) <= 9.0
+
+
+def test_cavity_flow():
+    out = run_example("cavity_flow.py")
+    assert "assembly + solver substrate: OK" in out
+    assert "bicgstab iterations" in out
+
+
+def test_trace_analysis():
+    out = run_example("trace_analysis.py")
+    assert "trace-derived cycles match the hardware counters: OK" in out
+    assert "phase timeline" in out
+
+
+def test_advisor_loop():
+    out = run_example("advisor_loop.py")
+    assert "vanilla -> vec2 -> ivec2 -> vec1" in out
+    assert "final speed-up over vanilla" in out
