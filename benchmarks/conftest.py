@@ -16,8 +16,8 @@ import os
 
 import pytest
 
+from repro import Session
 from repro.experiments.config import FULL_MESH, QUICK_MESH
-from repro.experiments.runner import Session
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,7 @@ remarks.
 Run:  python examples/quickstart.py
 """
 
-from repro.cfd import MiniApp, box_mesh
+from repro import MiniApp, box_mesh
 from repro.experiments import report
 from repro.machine import RISCV_VEC
 from repro.metrics.metrics import PhaseMetrics

@@ -12,7 +12,7 @@ Run:  python examples/trace_analysis.py
 import tempfile
 from pathlib import Path
 
-from repro.cfd import MiniApp, box_mesh
+from repro import MiniApp, box_mesh
 from repro.experiments import report
 from repro.machine import Machine, RISCV_VEC
 from repro.trace import Tracer, paraver, phase_stats, timeline

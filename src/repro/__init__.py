@@ -16,16 +16,40 @@ The package simulates the paper's entire stack in Python:
 * :mod:`repro.experiments` -- the harness regenerating every table and
   figure of the evaluation.
 
-Quickstart::
+Quickstart (the stable public API lives right here)::
 
-    from repro.cfd import MiniApp, box_mesh
-    from repro.machine import RISCV_VEC
+    from repro import RunConfig, Session
+
+    session = Session(mesh_dims=(8, 8, 15))
+    counters = session.run(RunConfig(opt="vec1", vector_size=240,
+                                     mesh_dims=(8, 8, 15)))
+    print(counters.total_cycles)
+
+or, one level lower::
+
+    from repro import MiniApp, box_mesh, get_machine
 
     app = MiniApp(box_mesh(8, 8, 15), vector_size=240, opt="vec1")
-    counters = app.run_timed(RISCV_VEC)
+    counters = app.run_timed(get_machine("riscv_vec"))
     print(counters.total_cycles)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from repro.cfd.assembly import MiniApp
+from repro.cfd.mesh import box_mesh
+from repro.experiments.config import RunConfig
+from repro.experiments.executor import ExecutionPlan, execute_plan
+from repro.experiments.runner import Session
+from repro.machine.machines import get_machine
+
+__all__ = [
+    "ExecutionPlan",
+    "MiniApp",
+    "RunConfig",
+    "Session",
+    "__version__",
+    "box_mesh",
+    "execute_plan",
+    "get_machine",
+]

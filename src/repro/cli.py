@@ -6,23 +6,30 @@ command per artifact or workflow:
 * ``info``                      -- the Table-2 platform summary;
 * ``table N`` / ``figure N``    -- regenerate one paper artifact;
 * ``sweep``                     -- the Figure-11 speed-up ladder;
+* ``bench``                     -- time the sweep executor, write BENCH_report.json;
 * ``remarks``                   -- the compiler's vectorization remarks;
 * ``advise``                    -- the co-design advisor's findings;
 * ``codesign``                  -- run the full iterative loop;
 * ``trace``                     -- run with the tracer, export Paraver text.
 
-Results print as ASCII tables (see ``repro.experiments.report``).
+Sweep-shaped commands (``table`` / ``figure`` / ``sweep`` / ``report`` /
+``bench``) accept ``--jobs/-j N`` to fan uncached simulations across a
+process pool (``-j 0`` means one worker per CPU).  Results print as
+ASCII tables (see ``repro.experiments.report``); progress goes to
+stderr, so artifact output is byte-identical at any job count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import Optional, Sequence
 
 from repro.experiments import figures as F
 from repro.experiments import report, tables as T
-from repro.experiments.config import FULL_MESH, QUICK_MESH
+from repro.experiments.config import RunConfig, resolve_mesh
 from repro.experiments.runner import Session
 
 _TABLES = {1: T.table1, 2: T.table2, 3: T.table3, 4: T.table4,
@@ -33,18 +40,45 @@ _FIGURES = {2: F.figure2, 3: F.figure3, 4: F.figure4, 5: F.figure5,
 
 
 def _mesh_dims(name: str) -> tuple[int, int, int]:
-    return QUICK_MESH if name == "quick" else FULL_MESH
+    return resolve_mesh(name)
+
+
+def _add_mesh(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mesh", choices=("quick", "full"), default="quick",
+                   help="mesh preset: quick=960 elements, full=7680")
+
+
+def _add_jobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="parallel simulation workers (0 = one per CPU)")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--mesh", choices=("quick", "full"), default="quick",
-                   help="mesh preset: quick=960 elements, full=7680")
+    _add_mesh(p)
     p.add_argument("--machine", default="riscv_vec",
                    choices=("riscv_vec", "riscv_vec_next", "sx_aurora",
                             "mn4_avx512", "a64fx"))
     p.add_argument("--opt", default="vec1",
                    choices=("scalar", "vanilla", "vec2", "ivec2", "vec1"))
     p.add_argument("--vs", type=int, default=240, help="VECTOR_SIZE")
+
+
+def _run_config(args) -> RunConfig:
+    """The one RunConfig a single-run command describes."""
+    return RunConfig.from_kwargs(mesh=args.mesh, machine=args.machine,
+                                 opt=args.opt, vs=args.vs)
+
+
+def _jobs(args) -> int:
+    from repro.experiments.executor import default_jobs
+
+    n = getattr(args, "jobs", 1)
+    return default_jobs() if n <= 0 else n
+
+
+def _session(args) -> Session:
+    return Session(mesh_dims=_mesh_dims(args.mesh), verbose=True,
+                   jobs=_jobs(args))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,20 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table", help="regenerate a paper table (1-6)")
     p.add_argument("number", type=int, choices=sorted(_TABLES))
-    p.add_argument("--mesh", choices=("quick", "full"), default="quick")
+    _add_mesh(p)
+    _add_jobs(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure (2-13)")
     p.add_argument("number", type=int, choices=sorted(_FIGURES))
-    p.add_argument("--mesh", choices=("quick", "full"), default="quick")
+    _add_mesh(p)
+    _add_jobs(p)
 
     p = sub.add_parser("sweep", help="speed-up ladder (Figure 11)")
-    p.add_argument("--mesh", choices=("quick", "full"), default="quick")
+    _add_mesh(p)
+    _add_jobs(p)
 
     p = sub.add_parser("report", help="the full evaluation report "
                                       "(every table and figure)")
-    p.add_argument("--mesh", choices=("quick", "full"), default="quick")
+    _add_mesh(p)
+    _add_jobs(p)
     p.add_argument("-o", "--output", default=None,
                    help="write to a file instead of stdout")
+
+    p = sub.add_parser("bench", help="time the sweep executor (serial vs "
+                                     "parallel) and write a JSON report")
+    _add_mesh(p)
+    _add_jobs(p)
+    p.add_argument("--profile", choices=("smoke", "standard"),
+                   default="standard",
+                   help="smoke = 3 runs, standard = the full ~50-run sweep")
+    p.add_argument("-o", "--output", default="BENCH_report.json",
+                   help="benchmark report path (JSON)")
 
     p = sub.add_parser("remarks", help="compiler vectorization remarks")
     _add_common(p)
@@ -102,14 +150,13 @@ def _cmd_table(args) -> int:
     if args.number in (1, 2):
         obj = fn()
     else:
-        obj = fn(Session(mesh_dims=_mesh_dims(args.mesh), verbose=True))
+        obj = fn(_session(args))
     print(report.render(obj))
     return 0
 
 
 def _cmd_figure(args) -> int:
-    session = Session(mesh_dims=_mesh_dims(args.mesh), verbose=True)
-    obj = _FIGURES[args.number](session)
+    obj = _FIGURES[args.number](_session(args))
     print(obj.title)
     print(report.format_table(obj.rows()))
     return 0
@@ -118,8 +165,7 @@ def _cmd_figure(args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.summary import evaluation_report
 
-    session = Session(mesh_dims=_mesh_dims(args.mesh), verbose=True)
-    text = evaluation_report(session)
+    text = evaluation_report(_session(args))
     if args.output:
         from pathlib import Path
 
@@ -131,18 +177,72 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    session = Session(mesh_dims=_mesh_dims(args.mesh), verbose=True)
-    fig = F.figure11(session)
+    fig = F.figure11(_session(args))
     print(report.format_series_barchart(fig))
     return 0
 
 
-def _make_app(args):
-    from repro.cfd.assembly import MiniApp
-    from repro.cfd.mesh import box_mesh
+def _cmd_bench(args) -> int:
+    """Cold serial vs cold parallel vs warm recall over one plan."""
+    import tempfile
+    from pathlib import Path
 
-    return MiniApp(box_mesh(*_mesh_dims(args.mesh)), vector_size=args.vs,
-                   opt=args.opt)
+    from repro.experiments.executor import ExecutionPlan, execute_plan
+
+    jobs = _jobs(args)
+    dims = _mesh_dims(args.mesh)
+    plan = (ExecutionPlan.smoke(dims) if args.profile == "smoke"
+            else ExecutionPlan.standard(dims))
+
+    def timed(cache_dir, n):
+        t0 = time.perf_counter()
+        res = execute_plan(plan, cache_dir=cache_dir, jobs=n)
+        return time.perf_counter() - t0, res
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as td:
+        print(f"[bench] {len(plan)} configs, mesh {dims}, jobs={jobs}",
+              file=sys.stderr, flush=True)
+        serial_s, serial_res = timed(Path(td) / "serial", 1)
+        parallel_s, parallel_res = timed(Path(td) / "parallel", jobs)
+        warm_s, warm_res = timed(Path(td) / "parallel", jobs)
+
+    payload = {
+        "paper": "Exploiting long vectors with a CFD code (IPPS 2024)",
+        "mesh": list(dims),
+        "profile": args.profile,
+        "configs": len(plan),
+        "jobs": jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "cold_cache_hits": serial_res.stats.cache_hits,
+        "cold_simulated": serial_res.stats.simulated,
+        "warm_cache_hits": warm_res.stats.cache_hits,
+        "warm_simulated": warm_res.stats.simulated,
+        "retries": parallel_res.stats.retries,
+        "failures": parallel_res.stats.failures,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    rows = [["", "wall-clock [s]", "simulated", "cache hits"],
+            ["serial (j=1)", f"{serial_s:.2f}",
+             str(serial_res.stats.simulated), str(serial_res.stats.cache_hits)],
+            [f"parallel (j={jobs})", f"{parallel_s:.2f}",
+             str(parallel_res.stats.simulated),
+             str(parallel_res.stats.cache_hits)],
+            ["warm recall", f"{warm_s:.2f}", str(warm_res.stats.simulated),
+             str(warm_res.stats.cache_hits)]]
+    print(report.format_table(rows))
+    print(f"\nspeedup (serial/parallel): {payload['speedup']}x"
+          f" -- report written to {args.output}")
+    return 0
+
+
+def _make_app(args):
+    from repro.experiments.executor import build_miniapp
+
+    return build_miniapp(_run_config(args))
 
 
 def _cmd_remarks(args) -> int:
@@ -167,12 +267,13 @@ def _cmd_codesign(args) -> int:
     from repro.codesign import run_codesign_loop
     from repro.machine.machines import get_machine
 
+    cfg = _run_config(args)
     # the loop starts from the auto-vectorized baseline unless the user
     # explicitly asks to start mid-ladder (vec2 / ivec2).
-    start = args.opt if args.opt in ("vec2", "ivec2") else "vanilla"
-    result = run_codesign_loop(box_mesh(*_mesh_dims(args.mesh)),
-                               get_machine(args.machine), vector_size=args.vs,
-                               start_opt=start)
+    start = cfg.opt if cfg.opt in ("vec2", "ivec2") else "vanilla"
+    result = run_codesign_loop(box_mesh(*cfg.mesh_dims),
+                               get_machine(cfg.machine),
+                               vector_size=cfg.vector_size, start_opt=start)
     rows = [["step", "cycles", "speed-up vs start", "next"]]
     for s in result.steps:
         rows.append([s.opt, f"{s.total_cycles:,.0f}",
@@ -222,6 +323,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure": lambda: _cmd_figure(args),
         "sweep": lambda: _cmd_sweep(args),
         "report": lambda: _cmd_report(args),
+        "bench": lambda: _cmd_bench(args),
         "remarks": lambda: _cmd_remarks(args),
         "advise": lambda: _cmd_advise(args),
         "codesign": lambda: _cmd_codesign(args),

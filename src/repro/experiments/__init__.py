@@ -1,24 +1,46 @@
-"""Evaluation harness: configurations, cached runner, tables and figures."""
+"""Evaluation harness: configurations, parallel executor, cached runner,
+tables and figures."""
 
 from repro.experiments.config import (
     FULL_MESH,
+    MESH_PRESETS,
     OPTS,
     PLATFORMS,
     QUICK_MESH,
     RunConfig,
     VECTOR_SIZES,
+    resolve_mesh,
+)
+from repro.experiments.executor import (
+    ExecutionPlan,
+    ExecutionResult,
+    ExecutionStats,
+    RunEvent,
+    SweepError,
+    execute_plan,
+    simulate_run,
 )
 from repro.experiments.runner import Session
-from repro.experiments import figures, report, summary, tables
+from repro.experiments import executor, figures, report, summary, tables
 
 __all__ = [
     "FULL_MESH",
+    "MESH_PRESETS",
     "OPTS",
     "PLATFORMS",
     "QUICK_MESH",
     "RunConfig",
     "VECTOR_SIZES",
+    "resolve_mesh",
+    "ExecutionPlan",
+    "ExecutionResult",
+    "ExecutionStats",
+    "RunEvent",
+    "SweepError",
+    "execute_plan",
+    "simulate_run",
     "Session",
+    "executor",
     "figures",
     "report",
     "summary",

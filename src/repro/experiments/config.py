@@ -11,6 +11,7 @@ padding.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Union
 
 #: the six VECTOR_SIZE values studied in the paper.
 VECTOR_SIZES: tuple[int, ...] = (16, 64, 128, 240, 256, 512)
@@ -29,10 +30,42 @@ FULL_MESH: tuple[int, int, int] = (16, 16, 30)
 #: 512 need tail padding here).
 QUICK_MESH: tuple[int, int, int] = (8, 8, 15)
 
+#: mesh presets addressable by name (the CLI's ``--mesh`` choices).
+MESH_PRESETS: dict[str, tuple[int, int, int]] = {
+    "quick": QUICK_MESH,
+    "full": FULL_MESH,
+}
+
+#: anything that names a mesh: a preset string or explicit (nx, ny, nz).
+MeshSpec = Union[str, Iterable[int]]
+
+
+def resolve_mesh(mesh: MeshSpec | None) -> tuple[int, int, int]:
+    """Normalize a mesh spec (preset name, dims iterable, or ``None`` for
+    the paper's full mesh) to an explicit ``(nx, ny, nz)`` tuple."""
+    if mesh is None:
+        return FULL_MESH
+    if isinstance(mesh, str):
+        try:
+            return MESH_PRESETS[mesh]
+        except KeyError:
+            raise ValueError(
+                f"unknown mesh preset {mesh!r}; known: {sorted(MESH_PRESETS)}"
+            ) from None
+    dims = tuple(int(d) for d in mesh)
+    if len(dims) != 3 or any(d <= 0 for d in dims):
+        raise ValueError(f"mesh dims must be 3 positive ints, got {dims}")
+    return dims
+
 
 @dataclass(frozen=True)
 class RunConfig:
-    """One mini-app execution configuration."""
+    """One mini-app execution configuration.
+
+    ``RunConfig`` is the single source of truth for what gets simulated:
+    the executor's workers, the :class:`~repro.experiments.runner.Session`
+    façade, and the CLI all construct and exchange these.
+    """
 
     machine: str = "riscv_vec"
     opt: str = "vanilla"
@@ -40,6 +73,25 @@ class RunConfig:
     mesh_dims: tuple[int, int, int] = FULL_MESH
     cache_enabled: bool = True
     field_seed: int = 0
+
+    @classmethod
+    def from_kwargs(cls, mesh: MeshSpec | None = None, **kwargs) -> "RunConfig":
+        """Build a config from loose keyword arguments.
+
+        ``mesh`` accepts a preset name (``"quick"`` / ``"full"``), explicit
+        dims, or ``None`` (full mesh); ``vs`` is accepted as an alias for
+        ``vector_size`` (the CLI flag's spelling).  Unknown keywords raise
+        ``TypeError`` so typos don't silently fall back to defaults.
+        """
+        if "vs" in kwargs:
+            kwargs["vector_size"] = kwargs.pop("vs")
+        if "mesh_dims" in kwargs:
+            mesh = kwargs.pop("mesh_dims")
+        known = {"machine", "opt", "vector_size", "cache_enabled", "field_seed"}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise TypeError(f"unknown RunConfig argument(s): {sorted(unknown)}")
+        return cls(mesh_dims=resolve_mesh(mesh), **kwargs)
 
     def key(self) -> str:
         """Stable cache key."""

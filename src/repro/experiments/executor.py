@@ -1,0 +1,449 @@
+"""Parallel, fault-tolerant sweep executor.
+
+Every paper artifact is a projection of the same ~50 simulated runs, so
+the sweep engine is the hot path of the whole reproduction.  This module
+industrializes it:
+
+* :class:`ExecutionPlan` — an explicit, deduplicated list of
+  :class:`~repro.experiments.config.RunConfig`, with factories for the
+  paper's standard sweep;
+* :func:`execute_plan` — partitions out already-cached runs, fans the
+  remainder across a ``ProcessPoolExecutor`` (workers rebuild mesh +
+  mini-app from the pickled config), applies a per-run timeout with
+  bounded retry, survives a broken pool by falling back to in-process
+  execution, and streams structured :class:`RunEvent` progress;
+* a versioned disk cache with **atomic** writes (tmp file +
+  ``os.replace``) and corruption recovery: a truncated or malformed
+  ``.repro_cache/*.json`` entry is discarded and re-simulated instead of
+  crashing the command.
+
+:class:`~repro.experiments.runner.Session` is a thin façade over this
+module; nothing here depends on ``Session``, so workers import cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.experiments.config import (
+    FULL_MESH,
+    PLATFORMS,
+    VECTOR_SIZES,
+    MeshSpec,
+    RunConfig,
+    resolve_mesh,
+)
+from repro.metrics.counters import (
+    RunCounters,
+    counters_from_dict,
+    counters_to_dict,
+)
+
+#: bump when the timing model changes so stale disk caches are ignored.
+MODEL_VERSION = "3"
+
+#: optimization ladder rungs exercised by the standard sweep (paper order).
+_SWEEP_OPTS: tuple[str, ...] = ("vanilla", "vec2", "ivec2", "vec1")
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """An ordered, duplicate-free list of run configurations."""
+
+    configs: tuple[RunConfig, ...] = ()
+
+    @classmethod
+    def from_configs(cls, configs: Iterable[RunConfig]) -> "ExecutionPlan":
+        """Build a plan, dropping duplicate configs but keeping order."""
+        seen: set[str] = set()
+        out: list[RunConfig] = []
+        for cfg in configs:
+            if cfg.key() not in seen:
+                seen.add(cfg.key())
+                out.append(cfg)
+        return cls(configs=tuple(out))
+
+    @classmethod
+    def standard(cls, mesh: MeshSpec | None = None) -> "ExecutionPlan":
+        """The paper's full evaluation sweep (~50 runs): the scalar
+        baseline plus every optimization rung over every VECTOR_SIZE on
+        the RISC-V prototype, and the vanilla/vec1 pair on the other two
+        platforms (Figures 12/13)."""
+        dims = resolve_mesh(mesh)
+        configs: list[RunConfig] = [
+            RunConfig(opt="scalar", vector_size=16, mesh_dims=dims)]
+        for opt in _SWEEP_OPTS:
+            for vs in VECTOR_SIZES:
+                configs.append(RunConfig(opt=opt, vector_size=vs, mesh_dims=dims))
+        for machine in PLATFORMS:
+            if machine == "riscv_vec":
+                continue  # already covered by the ladder above
+            for opt in ("vanilla", "vec1"):
+                for vs in VECTOR_SIZES:
+                    configs.append(RunConfig(machine=machine, opt=opt,
+                                             vector_size=vs, mesh_dims=dims))
+        return cls.from_configs(configs)
+
+    @classmethod
+    def smoke(cls, mesh: MeshSpec | None = None) -> "ExecutionPlan":
+        """A three-run plan for quick benchmarking / CI smoke tests."""
+        dims = resolve_mesh(mesh)
+        return cls.from_configs([
+            RunConfig(opt="scalar", vector_size=16, mesh_dims=dims),
+            RunConfig(opt="vanilla", vector_size=16, mesh_dims=dims),
+            RunConfig(opt="vanilla", vector_size=64, mesh_dims=dims),
+        ])
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+
+# ---------------------------------------------------------------------------
+# Progress events and result records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One structured progress event streamed by :func:`execute_plan`.
+
+    ``kind`` is one of ``cache_hit``, ``start``, ``done``, ``retry``,
+    ``timeout``, ``failed``.
+    """
+
+    kind: str
+    key: str
+    attempt: int = 1
+    wall_s: float = 0.0
+    error: str = ""
+
+
+#: progress callback signature.
+EventCallback = Callable[[RunEvent], None]
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate accounting for one :func:`execute_plan` call."""
+
+    cache_hits: int = 0
+    simulated: int = 0
+    retries: int = 0
+    failures: int = 0
+    wall_s: float = 0.0
+
+
+@dataclass
+class ExecutionResult:
+    """Counters by cache key, plus execution statistics and failures."""
+
+    runs: dict[str, RunCounters] = field(default_factory=dict)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    #: cache key -> last error message, for configs that exhausted retries.
+    failed: dict[str, str] = field(default_factory=dict)
+
+    def counters_for(self, cfg: RunConfig) -> RunCounters:
+        return self.runs[cfg.key()]
+
+
+class SweepError(RuntimeError):
+    """Raised when a plan finishes with permanently-failed runs."""
+
+    def __init__(self, failed: dict[str, str]):
+        self.failed = dict(failed)
+        detail = "; ".join(f"{k}: {v}" for k, v in self.failed.items())
+        super().__init__(f"{len(self.failed)} run(s) failed permanently: {detail}")
+
+
+# ---------------------------------------------------------------------------
+# Versioned disk cache: atomic writes, corruption recovery
+# ---------------------------------------------------------------------------
+
+
+def cache_path(cache_dir: str | os.PathLike, cfg: RunConfig) -> Path:
+    """Location of one config's cached counters."""
+    return Path(cache_dir) / f"v{MODEL_VERSION}-{cfg.key()}.json"
+
+
+def load_cached(cache_dir: str | os.PathLike, cfg: RunConfig) -> Optional[RunCounters]:
+    """Read one cached run; a missing entry returns ``None``.
+
+    A corrupt entry (truncated write, bad JSON, wrong schema) is deleted
+    and ``None`` is returned so the caller re-simulates — a damaged cache
+    must never crash a command.
+    """
+    path = cache_path(cache_dir, cfg)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError:
+        return None
+    try:
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise TypeError("counter payload must be a JSON object")
+        return counters_from_dict(data)
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        return None
+
+
+def _dump_payload(payload: dict) -> str:
+    """Canonical cache text: key-sorted so identical counters serialize
+    to identical bytes regardless of which process produced them."""
+    return json.dumps(payload, sort_keys=True)
+
+
+def store_payload(cache_dir: str | os.PathLike, cfg: RunConfig, payload: dict) -> Path:
+    """Atomically persist one run's counter dict (tmp file + ``os.replace``)."""
+    target = cache_path(cache_dir, cfg)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=target.parent, prefix=target.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(_dump_payload(payload))
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def store_cached(cache_dir: str | os.PathLike, cfg: RunConfig,
+                 run: RunCounters) -> Path:
+    """Atomically persist one run's :class:`RunCounters`."""
+    return store_payload(cache_dir, cfg, counters_to_dict(run))
+
+
+# ---------------------------------------------------------------------------
+# Simulation workers
+# ---------------------------------------------------------------------------
+
+
+def build_miniapp(cfg: RunConfig):
+    """Construct the compiled mini-app a config describes."""
+    from repro.cfd.assembly import MiniApp
+    from repro.cfd.mesh import box_mesh
+
+    return MiniApp(box_mesh(*cfg.mesh_dims), cfg.vector_size, cfg.opt,
+                   field_seed=cfg.field_seed)
+
+
+def simulate_run(cfg: RunConfig) -> RunCounters:
+    """Simulate one configuration from scratch (no caches involved)."""
+    from repro.machine.cpu import Machine
+    from repro.machine.machines import get_machine
+
+    app = build_miniapp(cfg)
+    params = get_machine(cfg.machine)
+    machine = Machine(params, cache_enabled=cfg.cache_enabled)
+    return app.run_timed(params, machine=machine)
+
+
+def simulate_to_dict(cfg: RunConfig) -> dict:
+    """Pool worker: simulate and return plain data (cheap to pickle)."""
+    return counters_to_dict(simulate_run(cfg))
+
+
+#: worker callable signature: RunConfig -> counter dict.
+Worker = Callable[[RunConfig], dict]
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+def default_jobs() -> int:
+    """Worker count used for ``--jobs 0`` / unspecified parallelism."""
+    return max(1, os.cpu_count() or 1)
+
+
+def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
+                 cache_dir: str | os.PathLike = ".repro_cache",
+                 jobs: int = 1,
+                 use_disk: bool = True,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 on_event: Optional[EventCallback] = None,
+                 worker: Worker = simulate_to_dict) -> ExecutionResult:
+    """Execute every config in *plan*, returning counters keyed by
+    :meth:`RunConfig.key`.
+
+    Already-cached runs are partitioned out first (``cache_hit`` events);
+    the remainder runs on a process pool of *jobs* workers (``jobs <= 1``
+    runs in-process).  Each run gets ``1 + retries`` attempts and, when
+    *timeout_s* is set, a per-attempt wall-clock budget.  Runs that
+    exhaust their attempts are reported in ``result.failed`` rather than
+    raising, so one bad configuration cannot sink a 50-run sweep.
+    """
+    if isinstance(plan, ExecutionPlan):
+        configs = list(plan.configs)
+    else:
+        configs = list(ExecutionPlan.from_configs(plan).configs)
+
+    result = ExecutionResult()
+    t_start = time.monotonic()
+
+    def emit(kind: str, key: str, attempt: int = 1, wall_s: float = 0.0,
+             error: str = "") -> None:
+        if on_event is not None:
+            on_event(RunEvent(kind=kind, key=key, attempt=attempt,
+                              wall_s=wall_s, error=error))
+
+    # -- partition out cache hits -----------------------------------------
+    todo: list[RunConfig] = []
+    for cfg in configs:
+        cached = load_cached(cache_dir, cfg) if use_disk else None
+        if cached is not None:
+            result.runs[cfg.key()] = cached
+            result.stats.cache_hits += 1
+            emit("cache_hit", cfg.key())
+        else:
+            todo.append(cfg)
+
+    def record(cfg: RunConfig, payload: dict, attempt: int, wall_s: float) -> None:
+        result.runs[cfg.key()] = counters_from_dict(payload)
+        result.stats.simulated += 1
+        if use_disk:
+            store_payload(cache_dir, cfg, payload)
+        emit("done", cfg.key(), attempt=attempt, wall_s=wall_s)
+
+    def handle_failure(cfg: RunConfig, attempt: int, error: str,
+                       queue: deque) -> None:
+        if attempt <= retries:
+            result.stats.retries += 1
+            emit("retry", cfg.key(), attempt=attempt, error=error)
+            queue.append((cfg, attempt + 1))
+        else:
+            result.stats.failures += 1
+            result.failed[cfg.key()] = error
+            emit("failed", cfg.key(), attempt=attempt, error=error)
+
+    if todo:
+        if jobs <= 1:
+            _run_serial(todo, worker, retries, emit, record, result)
+        else:
+            _run_pool(todo, worker, jobs, retries, timeout_s,
+                      emit, record, handle_failure, result)
+
+    result.stats.wall_s = time.monotonic() - t_start
+    return result
+
+
+def _run_serial(todo: Sequence[RunConfig], worker: Worker, retries: int,
+                emit, record, result: ExecutionResult) -> None:
+    """In-process execution path (``jobs <= 1`` and broken-pool fallback)."""
+    queue: deque = deque((cfg, 1) for cfg in todo)
+    while queue:
+        cfg, attempt = queue.popleft()
+        if cfg.key() in result.runs:  # a retry may race a later success
+            continue
+        emit("start", cfg.key(), attempt=attempt)
+        t0 = time.monotonic()
+        try:
+            payload = worker(cfg)
+        except Exception as exc:
+            if attempt <= retries:
+                result.stats.retries += 1
+                emit("retry", cfg.key(), attempt=attempt, error=repr(exc))
+                queue.append((cfg, attempt + 1))
+            else:
+                result.stats.failures += 1
+                result.failed[cfg.key()] = repr(exc)
+                emit("failed", cfg.key(), attempt=attempt, error=repr(exc))
+        else:
+            record(cfg, payload, attempt, time.monotonic() - t0)
+
+
+def _run_pool(todo: Sequence[RunConfig], worker: Worker, jobs: int,
+              retries: int, timeout_s: Optional[float],
+              emit, record, handle_failure, result: ExecutionResult) -> None:
+    """Process-pool execution with per-run timeout and bounded retry.
+
+    A run whose attempt exceeds *timeout_s* is abandoned (the busy worker
+    cannot be killed portably, but its result is discarded) and retried.
+    If the pool itself breaks — a worker segfaults or is OOM-killed — the
+    pool is rebuilt once; a second break degrades to in-process execution
+    so the sweep still completes.
+    """
+    queue: deque = deque((cfg, 1) for cfg in todo)
+    pool_rebuilds = 1
+
+    while queue:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        pending: dict[Future, tuple[RunConfig, int, float]] = {}
+        try:
+            while queue or pending:
+                while queue and len(pending) < jobs:
+                    cfg, attempt = queue.popleft()
+                    if cfg.key() in result.runs:
+                        continue
+                    fut = pool.submit(worker, cfg)
+                    pending[fut] = (cfg, attempt, time.monotonic())
+                    emit("start", cfg.key(), attempt=attempt)
+                if not pending:
+                    break
+                done, _ = wait(pending, timeout=0.1,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                for fut in done:
+                    cfg, attempt, t0 = pending.pop(fut)
+                    try:
+                        payload = fut.result()
+                    except BrokenProcessPool:
+                        handle_failure(cfg, attempt, "process pool broke", queue)
+                        raise
+                    except Exception as exc:
+                        handle_failure(cfg, attempt, repr(exc), queue)
+                    else:
+                        record(cfg, payload, attempt, now - t0)
+                if timeout_s is not None:
+                    for fut in list(pending):
+                        cfg, attempt, t0 = pending[fut]
+                        if now - t0 > timeout_s:
+                            del pending[fut]
+                            fut.cancel()
+                            emit("timeout", cfg.key(), attempt=attempt,
+                                 wall_s=now - t0)
+                            handle_failure(cfg, attempt,
+                                           f"timed out after {timeout_s:g}s",
+                                           queue)
+        except BrokenProcessPool:
+            # Re-queue everything in flight for another attempt.
+            for cfg, attempt, _t0 in pending.values():
+                handle_failure(cfg, attempt, "process pool broke", queue)
+            if pool_rebuilds > 0:
+                pool_rebuilds -= 1
+                continue
+            pool.shutdown(wait=False, cancel_futures=True)
+            _run_serial([cfg for cfg, _a in queue], worker, retries,
+                        emit, record, result)
+            return
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        break

@@ -18,6 +18,13 @@ from repro.metrics import metrics as M
 PHASES = tuple(range(1, 9))
 
 
+def _prewarm(session: Session, opts, machine: str = "riscv_vec") -> None:
+    """Batch every (opt, VECTOR_SIZE) run a figure projects through
+    ``Session.run_many`` so cache misses fan out across workers."""
+    session.run_many([session.config(machine=machine, opt=opt, vector_size=vs)
+                      for opt in opts for vs in VECTOR_SIZES])
+
+
 @dataclass
 class Series:
     """A generic (x -> {label: value}) figure payload."""
@@ -41,6 +48,7 @@ class Series:
 
 
 def figure2(session: Session) -> Series:
+    _prewarm(session, ["vanilla"])
     xs = list(VECTOR_SIZES)
     cycles = [session.total_cycles(opt="vanilla", vector_size=vs) for vs in xs]
     return Series(
@@ -52,6 +60,7 @@ def figure2(session: Session) -> Series:
 
 
 def figure3(session: Session, opt: str = "vanilla") -> Series:
+    _prewarm(session, [opt])
     xs = list(VECTOR_SIZES)
     series: dict[str, list[float]] = {b: [] for b in VECTOR_BUCKETS}
     for vs in xs:
@@ -68,6 +77,7 @@ def figure3(session: Session, opt: str = "vanilla") -> Series:
 
 
 def _phase_percent(session: Session, opt: str) -> Series:
+    _prewarm(session, [opt])
     xs = list(VECTOR_SIZES)
     series = {f"phase {p}": [] for p in PHASES}
     for vs in xs:
@@ -93,6 +103,7 @@ def figure8(session: Session) -> Series:
 
 
 def _phase_cycles(session: Session, phase: int, opts: list[str]) -> Series:
+    _prewarm(session, opts)
     xs = list(VECTOR_SIZES)
     series = {
         opt: [session.phase_cycles(phase, opt=opt, vector_size=vs) for vs in xs]
@@ -121,6 +132,7 @@ def figure7(session: Session) -> Series:
 
 
 def figure9(session: Session, opt: str = "vec1") -> Series:
+    _prewarm(session, [opt])
     xs = list(VECTOR_SIZES)
     series = {}
     for p in PHASES:
@@ -140,6 +152,7 @@ def figure10(session: Session, opt: str = "vec1",
              machine: str = "riscv_vec") -> Series:
     from repro.machine.machines import get_machine
 
+    _prewarm(session, [opt], machine=machine)
     vl_max = get_machine(machine).vl_max
     xs = list(VECTOR_SIZES)
     series = {}
@@ -159,6 +172,10 @@ def figure10(session: Session, opt: str = "vec1",
 
 
 def figure11(session: Session) -> Series:
+    session.run_many([session.config(opt="scalar", vector_size=16)]
+                     + [session.config(opt=opt, vector_size=vs)
+                        for opt in ("vanilla", "vec2", "ivec2", "vec1")
+                        for vs in VECTOR_SIZES])
     base = session.scalar_baseline().total_cycles
     xs = list(VECTOR_SIZES)
     series = {}
@@ -173,6 +190,10 @@ def figure11(session: Session) -> Series:
 
 
 def figure12(session: Session) -> Series:
+    session.run_many([session.config(machine=machine, opt=opt, vector_size=vs)
+                      for machine in PLATFORMS
+                      for opt in ("vanilla", "vec1")
+                      for vs in VECTOR_SIZES])
     xs = list(VECTOR_SIZES)
     series = {}
     for machine in PLATFORMS:
@@ -192,6 +213,7 @@ def figure12(session: Session) -> Series:
 
 
 def figure13(session: Session, machine: str = "mn4_avx512") -> Series:
+    _prewarm(session, ["vanilla", "vec1"], machine=machine)
     xs = list(VECTOR_SIZES)
     overall, phase2 = [], []
     for vs in xs:

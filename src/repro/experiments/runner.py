@@ -1,59 +1,62 @@
-"""Experiment runner with memoized (in-memory + on-disk) results.
+"""Config-first experiment façade over the sweep executor.
 
 Every table and figure of the paper is a projection of the same ~50
-simulated runs (machine x optimization x VECTOR_SIZE).  The
-:class:`Session` runs each configuration once, keeps the counters in
-memory, and persists them as JSON under ``.repro_cache/`` so the full
+simulated runs (machine x optimization x VECTOR_SIZE).  The heavy
+lifting — parallel fan-out, per-run timeout/retry, the versioned atomic
+disk cache under ``.repro_cache/`` — lives in
+:mod:`repro.experiments.executor`; :class:`Session` is the thin façade
+the artifact generators and the CLI talk to:
+
+* ``Session.run(cfg)`` runs (or recalls) one
+  :class:`~repro.experiments.config.RunConfig` — the old keyword form
+  ``run(machine=..., opt=..., vector_size=...)`` remains as a wrapper;
+* ``Session.run_many(configs, jobs=N)`` is the batch entry point the
+  table/figure generators use to pre-warm the cache across a process
+  pool before rendering.
+
+Results memoize in memory and persist as JSON on disk, so the full
 benchmark suite re-renders in seconds after the first pass.  Set the
 environment variable ``REPRO_CACHE=0`` to disable the disk cache (the
-in-memory memo always applies), or bump :data:`MODEL_VERSION` when the
-timing model changes.
+in-memory memo always applies); :data:`~repro.experiments.executor.MODEL_VERSION`
+is bumped when the timing model changes so stale caches are ignored.  A
+corrupt cache entry is discarded and re-simulated, never fatal.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from collections import Counter
+import sys
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.cfd.assembly import MiniApp
 from repro.cfd.mesh import Mesh, box_mesh
 from repro.experiments.config import FULL_MESH, RunConfig
+from repro.experiments.executor import (
+    MODEL_VERSION,
+    ExecutionPlan,
+    RunEvent,
+    SweepError,
+    execute_plan,
+    load_cached,
+    simulate_run,
+    store_cached,
+)
 from repro.machine.cpu import Machine
 from repro.machine.machines import get_machine
-from repro.metrics.counters import PhaseCounters, RunCounters
-
-#: bump when the timing model changes so stale disk caches are ignored.
-MODEL_VERSION = "3"
-
-_COUNTER_FIELDS = (
-    "cycles_total", "cycles_vector", "instr_scalar", "instr_vconfig",
-    "instr_vector_arith", "instr_vector_mem", "instr_vector_ctrl",
-    "instr_scalar_mem", "vl_sum", "flops", "l1_misses", "l2_misses",
-    "mem_element_accesses",
+from repro.metrics.counters import (
+    COUNTER_FIELDS as _COUNTER_FIELDS,  # noqa: F401  (backwards compat)
+    RunCounters,
+    counters_from_dict,
+    counters_to_dict,
 )
 
-
-def counters_to_dict(run: RunCounters) -> dict:
-    out = {}
-    for pid, pc in run.phases.items():
-        rec = {f: getattr(pc, f) for f in _COUNTER_FIELDS}
-        rec["vl_hist"] = {str(k): v for k, v in pc.vl_hist.items()}
-        out[str(pid)] = rec
-    return out
-
-
-def counters_from_dict(data: dict) -> RunCounters:
-    run = RunCounters()
-    for pid_s, rec in data.items():
-        pc = PhaseCounters(phase=int(pid_s))
-        for f in _COUNTER_FIELDS:
-            setattr(pc, f, rec[f])
-        pc.vl_hist = Counter({int(k): v for k, v in rec["vl_hist"].items()})
-        run.phases[int(pid_s)] = pc
-    return run
+__all__ = [
+    "MODEL_VERSION",
+    "Session",
+    "counters_from_dict",
+    "counters_to_dict",
+]
 
 
 class Session:
@@ -62,13 +65,19 @@ class Session:
     def __init__(self, mesh_dims: tuple[int, int, int] = FULL_MESH,
                  cache_dir: str | os.PathLike = ".repro_cache",
                  use_disk: Optional[bool] = None,
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 jobs: int = 1,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1):
         self.mesh_dims = tuple(mesh_dims)
         self.cache_dir = Path(cache_dir)
         if use_disk is None:
             use_disk = os.environ.get("REPRO_CACHE", "1") != "0"
         self.use_disk = use_disk
         self.verbose = verbose
+        self.jobs = max(1, jobs)
+        self.timeout_s = timeout_s
+        self.retries = retries
         self._mesh: Optional[Mesh] = None
         self._memo: dict[str, RunCounters] = {}
         self._apps: dict[tuple, MiniApp] = {}
@@ -89,35 +98,93 @@ class Session:
 
     # ------------------------------------------------------------------
 
-    def _disk_path(self, cfg: RunConfig) -> Path:
-        return self.cache_dir / f"v{MODEL_VERSION}-{cfg.key()}.json"
+    def config(self, **kwargs) -> RunConfig:
+        """A :class:`RunConfig` bound to this session's mesh."""
+        return RunConfig.from_kwargs(mesh=self.mesh_dims, **kwargs)
 
-    def run(self, machine: str = "riscv_vec", opt: str = "vanilla",
+    def _disk_path(self, cfg: RunConfig) -> Path:
+        from repro.experiments.executor import cache_path
+
+        return cache_path(self.cache_dir, cfg)
+
+    def _log_event(self, ev: RunEvent) -> None:  # pragma: no cover - console
+        detail = f" attempt {ev.attempt}" if ev.attempt > 1 else ""
+        suffix = f" ({ev.error})" if ev.error else ""
+        print(f"[repro] {ev.kind} {ev.key}{detail}{suffix}", file=sys.stderr,
+              flush=True)
+
+    def run(self, machine: str | RunConfig = "riscv_vec", opt: str = "vanilla",
             vector_size: int = 240, cache_enabled: bool = True,
             field_seed: int = 0) -> RunCounters:
-        """Run (or recall) one configuration; returns per-phase counters."""
-        cfg = RunConfig(machine=machine, opt=opt, vector_size=vector_size,
-                        mesh_dims=self.mesh_dims, cache_enabled=cache_enabled,
-                        field_seed=field_seed)
+        """Run (or recall) one configuration; returns per-phase counters.
+
+        Config-first: pass a :class:`RunConfig` as the only argument
+        (``session.run(cfg)``).  The keyword form builds one on the fly
+        against this session's mesh.
+        """
+        if isinstance(machine, RunConfig):
+            cfg = machine
+        else:
+            cfg = RunConfig(machine=machine, opt=opt, vector_size=vector_size,
+                            mesh_dims=self.mesh_dims,
+                            cache_enabled=cache_enabled, field_seed=field_seed)
         key = cfg.key()
         if key in self._memo:
             return self._memo[key]
         if self.use_disk:
-            path = self._disk_path(cfg)
-            if path.exists():
-                run = counters_from_dict(json.loads(path.read_text()))
-                self._memo[key] = run
-                return run
+            cached = load_cached(self.cache_dir, cfg)
+            if cached is not None:
+                self._memo[key] = cached
+                return cached
         if self.verbose:  # pragma: no cover - console feedback
-            print(f"[repro] simulating {key} ...", flush=True)
-        app = self.miniapp(opt, vector_size, field_seed)
-        m = Machine(get_machine(machine), cache_enabled=cache_enabled)
-        run = app.run_timed(get_machine(machine), machine=m)
+            print(f"[repro] simulating {key} ...", file=sys.stderr, flush=True)
+        if cfg.mesh_dims == self.mesh_dims:
+            app = self.miniapp(cfg.opt, cfg.vector_size, cfg.field_seed)
+            m = Machine(get_machine(cfg.machine),
+                        cache_enabled=cfg.cache_enabled)
+            run = app.run_timed(get_machine(cfg.machine), machine=m)
+        else:
+            run = simulate_run(cfg)
         self._memo[key] = run
         if self.use_disk:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            self._disk_path(cfg).write_text(json.dumps(counters_to_dict(run)))
+            store_cached(self.cache_dir, cfg, run)
         return run
+
+    def run_many(self, configs: Iterable[RunConfig] | ExecutionPlan,
+                 jobs: Optional[int] = None,
+                 timeout_s: Optional[float] = None,
+                 retries: Optional[int] = None) -> list[RunCounters]:
+        """Run a batch of configurations, fanning cache misses across a
+        process pool; returns counters in input order.
+
+        This is the pre-warm entry point used by the table and figure
+        generators: artifacts first ``run_many`` every config they
+        project, then read individual runs from the warm memo.
+        """
+        if isinstance(configs, ExecutionPlan):
+            configs = list(configs.configs)
+        else:
+            configs = list(configs)
+        todo = [cfg for cfg in configs if cfg.key() not in self._memo]
+        effective_jobs = self.jobs if jobs is None else max(1, jobs)
+        if todo and effective_jobs <= 1:
+            # In-process: reuse this session's memoized mesh and apps.
+            for cfg in todo:
+                self.run(cfg)
+        elif todo:
+            result = execute_plan(
+                ExecutionPlan.from_configs(todo),
+                cache_dir=self.cache_dir,
+                jobs=effective_jobs,
+                use_disk=self.use_disk,
+                timeout_s=self.timeout_s if timeout_s is None else timeout_s,
+                retries=self.retries if retries is None else retries,
+                on_event=self._log_event if self.verbose else None,
+            )
+            if result.failed:
+                raise SweepError(result.failed)
+            self._memo.update(result.runs)
+        return [self._memo[cfg.key()] for cfg in configs]
 
     # -- convenience projections ------------------------------------------
 

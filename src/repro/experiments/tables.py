@@ -108,6 +108,8 @@ class Table4:
 
 
 def table4(session: Session, opt: str = "vanilla") -> Table4:
+    session.run_many([session.config(opt=opt, vector_size=vs)
+                      for vs in VECTOR_SIZES])
     mix: dict[int, dict[int, float]] = {}
     for vs in VECTOR_SIZES:
         run = session.run(opt=opt, vector_size=vs)
@@ -133,6 +135,8 @@ class Table5:
 
 
 def table5(session: Session, phase: int = 6, opt: str = "vanilla") -> Table5:
+    session.run_many([session.config(opt=opt, vector_size=vs)
+                      for vs in VECTOR_SIZES])
     per_vs = {}
     for vs in VECTOR_SIZES:
         pc = session.run(opt=opt, vector_size=vs).phases[phase]
@@ -160,6 +164,8 @@ def table6(session: Session, phases: tuple[int, ...] = (1, 8),
            opt: str = "vec1") -> Table6:
     """Regress per-phase cycles on the two memory predictors over the
     VECTOR_SIZE sweep (the paper's phases 1 and 8 analysis)."""
+    session.run_many([session.config(opt=opt, vector_size=vs)
+                      for vs in VECTOR_SIZES])
     results = {}
     for phase in phases:
         cycles, dcm, memr = [], [], []

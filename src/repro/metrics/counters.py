@@ -12,6 +12,7 @@ phases); :class:`RunCounters` is the per-execution collection.
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -139,3 +140,53 @@ def merge_runs(runs: Iterable[RunCounters]) -> RunCounters:
         for pid, pc in run.phases.items():
             out.phase(pid).merge(pc)
     return out
+
+
+# ---------------------------------------------------------------------------
+# JSON serialization (the executor's disk-cache and worker wire format).
+# ---------------------------------------------------------------------------
+
+#: the scalar fields persisted per phase, in canonical order.
+COUNTER_FIELDS: tuple[str, ...] = (
+    "cycles_total", "cycles_vector", "instr_scalar", "instr_vconfig",
+    "instr_vector_arith", "instr_vector_mem", "instr_vector_ctrl",
+    "instr_scalar_mem", "vl_sum", "flops", "l1_misses", "l2_misses",
+    "mem_element_accesses",
+)
+
+
+def counters_to_dict(run: RunCounters) -> dict:
+    """Plain-data (JSON/pickle-safe) form of a :class:`RunCounters`."""
+    out = {}
+    for pid, pc in run.phases.items():
+        rec = {f: getattr(pc, f) for f in COUNTER_FIELDS}
+        rec["vl_hist"] = {str(k): v for k, v in pc.vl_hist.items()}
+        out[str(pid)] = rec
+    return out
+
+
+def counters_from_dict(data: dict) -> RunCounters:
+    """Inverse of :func:`counters_to_dict`."""
+    run = RunCounters()
+    for pid_s, rec in data.items():
+        pc = PhaseCounters(phase=int(pid_s))
+        for f in COUNTER_FIELDS:
+            setattr(pc, f, rec[f])
+        pc.vl_hist = Counter({int(k): v for k, v in rec["vl_hist"].items()})
+        run.phases[int(pid_s)] = pc
+    return run
+
+
+def counters_to_json(run: RunCounters) -> str:
+    """Canonical JSON text: key-sorted so identical counters always
+    serialize to identical bytes, whichever process produced them."""
+    return json.dumps(counters_to_dict(run), sort_keys=True)
+
+
+def counters_from_json(text: str) -> RunCounters:
+    """Parse :func:`counters_to_json` output (raises ``ValueError`` /
+    ``KeyError`` / ``TypeError`` on malformed payloads)."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise TypeError(f"counter payload must be an object, got {type(data).__name__}")
+    return counters_from_dict(data)

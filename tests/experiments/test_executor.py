@@ -1,0 +1,276 @@
+"""Tests for the parallel sweep executor and the config-first Session API."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.config import FULL_MESH, QUICK_MESH, RunConfig
+from repro.experiments.executor import (
+    ExecutionPlan,
+    SweepError,
+    cache_path,
+    execute_plan,
+    load_cached,
+    simulate_to_dict,
+    store_cached,
+)
+from repro.experiments.runner import Session
+
+TINY = (4, 4, 4)
+
+
+def tiny_configs(n=3):
+    return [RunConfig(opt="vanilla", vector_size=vs, mesh_dims=TINY)
+            for vs in (16, 64, 128)[:n]]
+
+
+def _flaky_worker(cfg):
+    """Fails on the first call (cross-process flag file), then succeeds."""
+    flag = os.environ["REPRO_TEST_FAIL_FLAG"]
+    if not os.path.exists(flag):
+        open(flag, "w").close()
+        raise RuntimeError("injected worker failure")
+    return simulate_to_dict(cfg)
+
+
+# -- plans -------------------------------------------------------------------
+
+
+def test_plan_dedup_keeps_order():
+    cfgs = tiny_configs(2)
+    plan = ExecutionPlan.from_configs(cfgs + cfgs)
+    assert len(plan) == 2
+    assert list(plan) == cfgs
+
+
+def test_standard_plan_covers_the_paper_sweep():
+    plan = ExecutionPlan.standard("full")
+    assert len(plan) == 49  # 1 scalar + 4 opts x 6 VS + 2 platforms x 2 x 6
+    keys = {c.key() for c in plan}
+    assert all(c.mesh_dims == FULL_MESH for c in plan)
+    assert any("scalar" in k for k in keys)
+    assert any(k.startswith("sx_aurora-vec1") for k in keys)
+
+
+def test_smoke_plan_resolves_mesh_preset():
+    plan = ExecutionPlan.smoke("quick")
+    assert len(plan) == 3
+    assert all(c.mesh_dims == QUICK_MESH for c in plan)
+
+
+# -- serial vs parallel ------------------------------------------------------
+
+
+def test_parallel_results_byte_identical_to_serial(tmp_path):
+    plan = ExecutionPlan.from_configs(tiny_configs(3))
+    serial = execute_plan(plan, cache_dir=tmp_path / "serial", jobs=1)
+    parallel = execute_plan(plan, cache_dir=tmp_path / "parallel", jobs=2)
+    assert not serial.failed and not parallel.failed
+    assert serial.stats.simulated == parallel.stats.simulated == 3
+
+    serial_files = sorted(p.name for p in (tmp_path / "serial").iterdir())
+    parallel_files = sorted(p.name for p in (tmp_path / "parallel").iterdir())
+    assert serial_files == parallel_files
+    for name in serial_files:
+        assert (tmp_path / "serial" / name).read_bytes() == \
+            (tmp_path / "parallel" / name).read_bytes()
+
+    for cfg in plan:
+        assert parallel.counters_for(cfg).total_cycles == pytest.approx(
+            serial.counters_for(cfg).total_cycles)
+
+
+# -- caching -----------------------------------------------------------------
+
+
+def test_cache_hit_short_circuits_simulation(tmp_path):
+    plan = ExecutionPlan.from_configs(tiny_configs(2))
+    first = execute_plan(plan, cache_dir=tmp_path, jobs=1)
+    assert first.stats.simulated == 2 and first.stats.cache_hits == 0
+
+    events = []
+    second = execute_plan(plan, cache_dir=tmp_path, jobs=1,
+                          on_event=events.append)
+    assert second.stats.simulated == 0 and second.stats.cache_hits == 2
+    assert {e.kind for e in events} == {"cache_hit"}
+    for cfg in plan:
+        assert second.counters_for(cfg).total_cycles == pytest.approx(
+            first.counters_for(cfg).total_cycles)
+
+
+def test_corrupted_cache_entry_discarded_and_resimulated(tmp_path):
+    [cfg] = tiny_configs(1)
+    execute_plan([cfg], cache_dir=tmp_path, jobs=1)
+    path = cache_path(tmp_path, cfg)
+    path.write_text('{"1": {"cycles_tot')  # truncated write
+
+    result = execute_plan([cfg], cache_dir=tmp_path, jobs=1)
+    assert result.stats.cache_hits == 0 and result.stats.simulated == 1
+    assert json.loads(path.read_text())  # rewritten, valid again
+
+
+def test_load_cached_rejects_wrong_schema(tmp_path):
+    [cfg] = tiny_configs(1)
+    path = cache_path(tmp_path, cfg)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    path.write_text('["not", "an", "object"]')
+    assert load_cached(tmp_path, cfg) is None
+    assert not path.exists()  # bad entry deleted
+
+    path.write_text('{"1": {"cycles_total": 1.0}}')  # missing fields
+    assert load_cached(tmp_path, cfg) is None
+    assert not path.exists()
+
+
+def test_store_cached_roundtrip_and_no_tmp_litter(tmp_path):
+    [cfg] = tiny_configs(1)
+    run = execute_plan([cfg], cache_dir=tmp_path / "a", jobs=1).counters_for(cfg)
+    store_cached(tmp_path / "b", cfg, run)
+    back = load_cached(tmp_path / "b", cfg)
+    assert back.total_cycles == pytest.approx(run.total_cycles)
+    assert [p.name for p in (tmp_path / "b").iterdir()] == \
+        [cache_path(tmp_path / "b", cfg).name]  # no .tmp files left behind
+
+
+# -- fault tolerance ---------------------------------------------------------
+
+
+def test_worker_failure_retried_serial(tmp_path):
+    [cfg] = tiny_configs(1)
+    calls = {"n": 0}
+
+    def worker(c):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("boom")
+        return simulate_to_dict(c)
+
+    events = []
+    result = execute_plan([cfg], cache_dir=tmp_path, jobs=1, retries=1,
+                          worker=worker, on_event=events.append)
+    assert not result.failed
+    assert result.stats.retries == 1 and result.stats.simulated == 1
+    assert [e.kind for e in events] == ["start", "retry", "start", "done"]
+    assert calls["n"] == 2
+
+
+def test_worker_failure_retried_parallel(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_FAIL_FLAG", str(tmp_path / "flag"))
+    [cfg] = tiny_configs(1)
+    result = execute_plan([cfg], cache_dir=tmp_path, jobs=2, retries=1,
+                          worker=_flaky_worker)
+    assert not result.failed
+    assert result.stats.retries == 1 and result.stats.simulated == 1
+
+
+def test_retry_exhaustion_reported_not_raised(tmp_path):
+    def worker(c):
+        raise RuntimeError("always broken")
+
+    plan = ExecutionPlan.from_configs(tiny_configs(2))
+    result = execute_plan(plan, cache_dir=tmp_path, jobs=1, retries=1,
+                          worker=worker)
+    assert len(result.failed) == 2
+    assert result.stats.failures == 2 and result.stats.retries == 2
+    assert "always broken" in next(iter(result.failed.values()))
+
+
+def test_per_run_timeout_abandons_hung_worker(tmp_path):
+    import tests.experiments.test_executor as mod
+
+    result = execute_plan(tiny_configs(1), cache_dir=tmp_path, jobs=2,
+                          retries=0, timeout_s=0.2, worker=mod._sleepy_worker)
+    assert len(result.failed) == 1
+    assert "timed out" in next(iter(result.failed.values()))
+
+
+def _sleepy_worker(cfg):
+    import time
+
+    time.sleep(1.5)
+    return simulate_to_dict(cfg)
+
+
+# -- Session façade ----------------------------------------------------------
+
+
+def test_session_run_accepts_config_first():
+    s = Session(mesh_dims=TINY, use_disk=False)
+    cfg = s.config(opt="vanilla", vector_size=16)
+    assert s.run(cfg) is s.run(opt="vanilla", vector_size=16)
+
+
+def test_session_run_many_returns_input_order(tmp_path):
+    s = Session(mesh_dims=TINY, cache_dir=tmp_path)
+    cfgs = tiny_configs(3)
+    runs = s.run_many(list(reversed(cfgs)), jobs=2)
+    assert [r.total_cycles for r in runs] == \
+        [s.run(c).total_cycles for c in reversed(cfgs)]
+    # memoized: run_many again returns identical objects, no re-simulation
+    assert s.run_many(cfgs)[0] is s.run(cfgs[0])
+
+
+def test_session_run_many_serial_reuses_session_mesh(tmp_path):
+    s = Session(mesh_dims=TINY, cache_dir=tmp_path)
+    s.run_many(tiny_configs(2), jobs=1)
+    assert ("vanilla", 16, 0) in s._apps  # went through the in-process path
+
+
+def test_session_run_many_raises_on_permanent_failure(tmp_path, monkeypatch):
+    import repro.experiments.runner as runner_mod
+
+    s = Session(mesh_dims=TINY, cache_dir=tmp_path, retries=0)
+    orig = runner_mod.execute_plan
+
+    def broken_worker(cfg):
+        raise RuntimeError("dead")
+
+    def failing_plan(plan, **kw):
+        # force the in-process path so the closure worker needs no pickling
+        kw.update(worker=broken_worker, jobs=1)
+        return orig(plan, **kw)
+
+    monkeypatch.setattr(runner_mod, "execute_plan", failing_plan)
+    with pytest.raises(SweepError, match="failed permanently"):
+        s.run_many(tiny_configs(1), jobs=2)
+
+
+def test_session_recovers_from_corrupt_cache(tmp_path):
+    s1 = Session(mesh_dims=TINY, cache_dir=tmp_path)
+    r1 = s1.run(opt="vanilla", vector_size=16)
+    cache_file = next(tmp_path.glob("*.json"))
+    cache_file.write_text("not json at all")
+
+    s2 = Session(mesh_dims=TINY, cache_dir=tmp_path)
+    r2 = s2.run(opt="vanilla", vector_size=16)
+    assert r2.total_cycles == pytest.approx(r1.total_cycles)
+    assert json.loads(next(tmp_path.glob("*.json")).read_text())
+
+
+# -- config-first API --------------------------------------------------------
+
+
+def test_run_config_from_kwargs():
+    cfg = RunConfig.from_kwargs(mesh="quick", opt="vec1", vs=64)
+    assert cfg.mesh_dims == QUICK_MESH
+    assert cfg.vector_size == 64 and cfg.opt == "vec1"
+    assert RunConfig.from_kwargs().mesh_dims == FULL_MESH
+    assert RunConfig.from_kwargs(mesh=(2, 2, 2)).mesh_dims == (2, 2, 2)
+
+
+def test_run_config_from_kwargs_rejects_junk():
+    with pytest.raises(TypeError, match="unknown RunConfig"):
+        RunConfig.from_kwargs(optimization="vec1")
+    with pytest.raises(ValueError, match="unknown mesh preset"):
+        RunConfig.from_kwargs(mesh="huge")
+
+
+def test_public_api_surface():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    assert {"Session", "RunConfig", "ExecutionPlan", "MiniApp", "box_mesh",
+            "get_machine", "__version__"} <= set(repro.__all__)

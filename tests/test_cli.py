@@ -103,3 +103,40 @@ def test_machine_choices_include_extensions(capsys):
     code, out = run_cli(capsys, "remarks", "--machine", "a64fx",
                         "--opt", "vanilla", "--vs", "64")
     assert code == 0
+
+
+def test_jobs_flag_output_identical(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, out_parallel = run_cli(capsys, "figure", "2", "--mesh", "quick",
+                                 "-j", "2")
+    assert code == 0
+    code, out_serial = run_cli(capsys, "figure", "2", "--mesh", "quick",
+                               "-j", "1")
+    assert code == 0
+    assert out_parallel == out_serial
+
+
+def test_bench_smoke_writes_json_report(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    code, out = run_cli(capsys, "bench", "--mesh", "quick",
+                        "--profile", "smoke", "-j", "2",
+                        "-o", "bench.json")
+    assert code == 0
+    assert "speedup" in out and "warm recall" in out
+    payload = json.loads((tmp_path / "bench.json").read_text())
+    assert payload["configs"] == 3 and payload["jobs"] == 2
+    assert payload["cold_simulated"] == 3 and payload["warm_cache_hits"] == 3
+    assert payload["serial_s"] > 0 and payload["parallel_s"] > 0
+
+
+def test_cli_survives_corrupted_cache(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli(capsys, "table", "3", "--mesh", "quick")
+    assert code == 0
+    for f in (tmp_path / ".repro_cache").glob("*.json"):
+        f.write_text('{"truncated')
+    code, out = run_cli(capsys, "table", "3", "--mesh", "quick")
+    assert code == 0
+    assert "% of total cycles" in out
