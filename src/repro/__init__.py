@@ -14,7 +14,12 @@ The package simulates the paper's entire stack in Python:
   regression;
 * :mod:`repro.trace` -- Extrae/Vehave/Paraver-style tracing;
 * :mod:`repro.experiments` -- the harness regenerating every table and
-  figure of the evaluation.
+  figure of the evaluation;
+* :mod:`repro.validation` -- counter invariants + golden-reference
+  cross-checks (``execute_plan(validate=True)``, ``--validate``);
+* :mod:`repro.faults` -- seeded fault injection and the chaos campaign
+  proving the stack detects or recovers from every injected fault
+  (``repro chaos``).
 
 Quickstart (the stable public API lives right here)::
 
@@ -34,12 +39,12 @@ or, one level lower::
     print(counters.total_cycles)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.cfd.assembly import MiniApp
 from repro.cfd.mesh import box_mesh
 from repro.experiments.config import RunConfig
-from repro.experiments.executor import ExecutionPlan, execute_plan
+from repro.experiments.executor import ExecutionPlan, SweepError, execute_plan
 from repro.experiments.runner import Session
 from repro.machine.machines import get_machine
 
@@ -48,6 +53,7 @@ __all__ = [
     "MiniApp",
     "RunConfig",
     "Session",
+    "SweepError",
     "__version__",
     "box_mesh",
     "execute_plan",

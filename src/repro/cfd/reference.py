@@ -168,6 +168,22 @@ REF_PHASES = (
     ref_phase5, ref_phase6, ref_phase7, ref_phase8,
 )
 
+#: stable output arrays of each phase, used by the golden-reference
+#: validator (:mod:`repro.validation.golden`) for its per-phase
+#: cross-check.  Pure per-Gauss-point scratch (``xjacm``, ``xjaci``,
+#: ``gpadv``, ``gprhs``, ``gpaux``) is excluded: only the final Gauss
+#: iteration survives and fused kernels may legally skip the stores.
+PHASE_OUTPUTS: dict[int, tuple[str, ...]] = {
+    1: ("eldens", "elvisc", "eldtinv", "elchale", "elsgs", "elsgs_old"),
+    2: ("elunk", "elold", "elcod"),
+    3: ("gpdet", "gpvol", "gpcar"),
+    4: ("gpvel", "gpold", "gppre", "gpgve"),
+    5: ("gpnve", "tau1", "tau2", "elauu", "elrbu", "elrbp"),
+    6: ("elauu", "elrbu", "elrbp"),
+    7: ("elauu",),
+    8: ("rhsid", "amatr"),
+}
+
 
 def run_reference_chunk(d: Data, params: Mapping[str, float],
                         elems: np.ndarray) -> None:

@@ -10,13 +10,19 @@ command per artifact or workflow:
 * ``remarks``                   -- the compiler's vectorization remarks;
 * ``advise``                    -- the co-design advisor's findings;
 * ``codesign``                  -- run the full iterative loop;
-* ``trace``                     -- run with the tracer, export Paraver text.
+* ``trace``                     -- run with the tracer, export Paraver text;
+* ``chaos``                     -- seeded fault-injection campaign + report.
 
 Sweep-shaped commands (``table`` / ``figure`` / ``sweep`` / ``report`` /
 ``bench``) accept ``--jobs/-j N`` to fan uncached simulations across a
-process pool (``-j 0`` means one worker per CPU).  Results print as
-ASCII tables (see ``repro.experiments.report``); progress goes to
-stderr, so artifact output is byte-identical at any job count.
+process pool (``-j 0`` means one worker per CPU), ``--validate`` to
+cross-check every run against the counter invariants (a violation
+aborts the command instead of rendering a poisoned artifact), and
+``--journal PATH`` to checkpoint the sweep so an interrupted command
+resumes without re-running completed work.  Results print as ASCII
+tables (see ``repro.experiments.report``); progress and validation
+diagnostics go to stderr, so artifact output is byte-identical at any
+job count and with or without ``--validate`` (when no fault fires).
 """
 
 from __future__ import annotations
@@ -44,13 +50,24 @@ def _mesh_dims(name: str) -> tuple[int, int, int]:
 
 
 def _add_mesh(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--mesh", choices=("quick", "full"), default="quick",
-                   help="mesh preset: quick=960 elements, full=7680")
+    p.add_argument("--mesh", choices=("tiny", "quick", "full"),
+                   default="quick",
+                   help="mesh preset: tiny=64 elements, quick=960, full=7680")
 
 
 def _add_jobs(p: argparse.ArgumentParser) -> None:
     p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                    help="parallel simulation workers (0 = one per CPU)")
+
+
+def _add_validate(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--validate", action="store_true",
+                   help="cross-check every run against the counter "
+                        "invariants; abort on any violation")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="checkpoint sweep progress to PATH; re-running "
+                        "with the same journal resumes an interrupted "
+                        "sweep")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -78,7 +95,9 @@ def _jobs(args) -> int:
 
 def _session(args) -> Session:
     return Session(mesh_dims=_mesh_dims(args.mesh), verbose=True,
-                   jobs=_jobs(args))
+                   jobs=_jobs(args),
+                   validate=getattr(args, "validate", False),
+                   journal=getattr(args, "journal", None))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,22 +113,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int, choices=sorted(_TABLES))
     _add_mesh(p)
     _add_jobs(p)
+    _add_validate(p)
 
     p = sub.add_parser("figure", help="regenerate a paper figure (2-13)")
     p.add_argument("number", type=int, choices=sorted(_FIGURES))
     _add_mesh(p)
     _add_jobs(p)
+    _add_validate(p)
 
     p = sub.add_parser("sweep", help="speed-up ladder (Figure 11)")
     _add_mesh(p)
     _add_jobs(p)
+    _add_validate(p)
 
     p = sub.add_parser("report", help="the full evaluation report "
                                       "(every table and figure)")
     _add_mesh(p)
     _add_jobs(p)
+    _add_validate(p)
     p.add_argument("-o", "--output", default=None,
                    help="write to a file instead of stdout")
+
+    p = sub.add_parser("chaos", help="seeded fault-injection campaign: "
+                                     "prove every fault is detected or "
+                                     "recovered")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (same seed = same faults, same "
+                        "report)")
+    p.add_argument("--mesh", choices=("tiny", "quick", "full"),
+                   default="tiny",
+                   help="mesh preset for the chaos sweeps (default tiny)")
+    _add_jobs(p)
+    p.add_argument("-o", "--output", default="chaos",
+                   help="directory for chaos-report.json + "
+                        "fault-plan.json")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="log each stage to stderr")
 
     p = sub.add_parser("bench", help="time the sweep executor (serial vs "
                                      "parallel) and write a JSON report")
@@ -239,6 +278,29 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults import run_chaos_campaign
+
+    jobs = max(2, _jobs(args))  # kill/hang stages need a real pool
+    rep = run_chaos_campaign(seed=args.seed, mesh=args.mesh,
+                             out_dir=args.output, jobs=jobs,
+                             verbose=args.verbose)
+    rows = [["stage", "fault", "target", "outcome"]]
+    for st in rep.stages:
+        rows.append([st.name, st.kind, st.target or "-", st.classification])
+    print(report.format_table(rows))
+    counts = rep.counts
+    print(f"\nseed {rep.seed}: {counts['recovered']} recovered, "
+          f"{counts['detected']} detected, {counts['clean']} clean, "
+          f"{counts['silent']} silent "
+          f"-- report written to {args.output}/chaos-report.json")
+    if not rep.ok:
+        print("FAIL: injected fault(s) were silently absorbed",
+              file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
 def _make_app(args):
     from repro.experiments.executor import build_miniapp
 
@@ -324,6 +386,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": lambda: _cmd_sweep(args),
         "report": lambda: _cmd_report(args),
         "bench": lambda: _cmd_bench(args),
+        "chaos": lambda: _cmd_chaos(args),
         "remarks": lambda: _cmd_remarks(args),
         "advise": lambda: _cmd_advise(args),
         "codesign": lambda: _cmd_codesign(args),

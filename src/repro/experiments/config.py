@@ -30,8 +30,13 @@ FULL_MESH: tuple[int, int, int] = (16, 16, 30)
 #: 512 need tail padding here).
 QUICK_MESH: tuple[int, int, int] = (8, 8, 15)
 
+#: minimal mesh for chaos campaigns and validation probes: 64 elements,
+#: so a full fault-injection sweep finishes in seconds.
+TINY_MESH: tuple[int, int, int] = (4, 4, 4)
+
 #: mesh presets addressable by name (the CLI's ``--mesh`` choices).
 MESH_PRESETS: dict[str, tuple[int, int, int]] = {
+    "tiny": TINY_MESH,
     "quick": QUICK_MESH,
     "full": FULL_MESH,
 }

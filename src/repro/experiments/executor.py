@@ -1,4 +1,4 @@
-"""Parallel, fault-tolerant sweep executor.
+"""Parallel, fault-tolerant, chaos-hardened sweep executor.
 
 Every paper artifact is a projection of the same ~50 simulated runs, so
 the sweep engine is the hot path of the whole reproduction.  This module
@@ -10,12 +10,26 @@ industrializes it:
 * :func:`execute_plan` — partitions out already-cached runs, fans the
   remainder across a ``ProcessPoolExecutor`` (workers rebuild mesh +
   mini-app from the pickled config), applies a per-run timeout with
-  bounded retry, survives a broken pool by falling back to in-process
-  execution, and streams structured :class:`RunEvent` progress;
-* a versioned disk cache with **atomic** writes (tmp file +
-  ``os.replace``) and corruption recovery: a truncated or malformed
+  bounded retry and exponential backoff (deterministic jitter), survives
+  a broken pool by falling back to in-process execution **without**
+  resetting retry budgets, and streams structured :class:`RunEvent`
+  progress;
+* a versioned disk cache with **atomic, durable** writes (tmp file +
+  fsync + ``os.replace`` + directory fsync), a content digest, and
+  corruption recovery: a truncated, bit-flipped or malformed
   ``.repro_cache/*.json`` entry is discarded and re-simulated instead of
-  crashing the command.
+  crashing the command;
+* optional **validation** (``validate=True``): every payload — freshly
+  simulated or recalled from cache — is checked against the counter
+  invariants of :mod:`repro.validation.invariants`; configs that
+  repeatedly fail validation are quarantined rather than retried
+  forever, and FLOP conservation is checked across the optimization
+  ladder once the sweep completes.  Verdicts are recorded in the cached
+  payload (``__validation__``) and surfaced on :class:`ExecutionResult`;
+* an optional **journal** (``journal=<path>``): an append-only, fsynced
+  checkpoint (:mod:`repro.experiments.journal`) that lets an interrupted
+  sweep resume without re-running completed work and without granting
+  crashed configs a fresh retry budget.
 
 :class:`~repro.experiments.runner.Session` is a thin façade over this
 module; nothing here depends on ``Session``, so workers import cheaply.
@@ -23,8 +37,10 @@ module; nothing here depends on ``Session``, so workers import cheaply.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import sys
 import tempfile
 import time
 from collections import deque
@@ -42,14 +58,16 @@ from repro.experiments.config import (
     RunConfig,
     resolve_mesh,
 )
+from repro.experiments.journal import SweepJournal, replay_journal
 from repro.metrics.counters import (
     RunCounters,
     counters_from_dict,
     counters_to_dict,
 )
 
-#: bump when the timing model changes so stale disk caches are ignored.
-MODEL_VERSION = "3"
+#: bump when the timing model OR the cache payload schema changes so
+#: stale disk caches are ignored (see EXPERIMENTS.md, "cache versioning").
+MODEL_VERSION = "4"
 
 #: optimization ladder rungs exercised by the standard sweep (paper order).
 _SWEEP_OPTS: tuple[str, ...] = ("vanilla", "vec2", "ivec2", "vec1")
@@ -108,6 +126,23 @@ class ExecutionPlan:
             RunConfig(opt="vanilla", vector_size=64, mesh_dims=dims),
         ])
 
+    @classmethod
+    def ladder(cls, mesh: MeshSpec | None = None,
+               vector_sizes: Sequence[int] = (16, 64)) -> "ExecutionPlan":
+        """The scalar baseline plus the full optimization ladder at a
+        couple of VECTOR_SIZEs — the chaos campaign's workload: small
+        enough to re-run many times, rich enough to exercise the
+        cross-rung FLOP-conservation check."""
+        dims = resolve_mesh(mesh)
+        configs: list[RunConfig] = [
+            RunConfig(opt="scalar", vector_size=min(vector_sizes),
+                      mesh_dims=dims)]
+        for opt in _SWEEP_OPTS:
+            for vs in vector_sizes:
+                configs.append(RunConfig(opt=opt, vector_size=vs,
+                                         mesh_dims=dims))
+        return cls.from_configs(configs)
+
     def __len__(self) -> int:
         return len(self.configs)
 
@@ -125,7 +160,8 @@ class RunEvent:
     """One structured progress event streamed by :func:`execute_plan`.
 
     ``kind`` is one of ``cache_hit``, ``start``, ``done``, ``retry``,
-    ``timeout``, ``failed``.
+    ``timeout``, ``failed``, ``invalid`` (validation verdict rejected a
+    payload), ``quarantined`` (repeated validation failure).
     """
 
     kind: str
@@ -147,6 +183,8 @@ class ExecutionStats:
     simulated: int = 0
     retries: int = 0
     failures: int = 0
+    validation_failures: int = 0
+    quarantined: int = 0
     wall_s: float = 0.0
 
 
@@ -158,9 +196,19 @@ class ExecutionResult:
     stats: ExecutionStats = field(default_factory=ExecutionStats)
     #: cache key -> last error message, for configs that exhausted retries.
     failed: dict[str, str] = field(default_factory=dict)
+    #: cache key -> reason, for configs quarantined after repeated
+    #: validation failures (subset of ``failed``).
+    quarantined: dict[str, str] = field(default_factory=dict)
+    #: cache key -> validation verdict (``{"ok": bool, "violations":
+    #: [...]}``), populated when ``validate=True``.
+    validation: dict[str, dict] = field(default_factory=dict)
 
     def counters_for(self, cfg: RunConfig) -> RunCounters:
         return self.runs[cfg.key()]
+
+    def invalid_keys(self) -> list[str]:
+        """Keys whose validation verdict is not ok."""
+        return sorted(k for k, v in self.validation.items() if not v["ok"])
 
 
 class SweepError(RuntimeError):
@@ -173,7 +221,7 @@ class SweepError(RuntimeError):
 
 
 # ---------------------------------------------------------------------------
-# Versioned disk cache: atomic writes, corruption recovery
+# Versioned disk cache: atomic durable writes, digests, corruption recovery
 # ---------------------------------------------------------------------------
 
 
@@ -182,12 +230,22 @@ def cache_path(cache_dir: str | os.PathLike, cfg: RunConfig) -> Path:
     return Path(cache_dir) / f"v{MODEL_VERSION}-{cfg.key()}.json"
 
 
+def payload_digest(payload: dict) -> str:
+    """Content digest over the counter data (reserved ``__*`` metadata
+    keys excluded, so verdict annotations don't perturb it)."""
+    body = {k: v for k, v in payload.items() if not k.startswith("__")}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode()).hexdigest()
+
+
 def load_cached(cache_dir: str | os.PathLike, cfg: RunConfig) -> Optional[RunCounters]:
     """Read one cached run; a missing entry returns ``None``.
 
-    A corrupt entry (truncated write, bad JSON, wrong schema) is deleted
-    and ``None`` is returned so the caller re-simulates — a damaged cache
-    must never crash a command.
+    A corrupt entry — truncated write, bad JSON, wrong schema, missing
+    or mismatching content digest, non-finite counter values — is
+    deleted and ``None`` is returned so the caller re-simulates: a
+    damaged cache must never crash a command *or* leak silently into
+    artifacts.
     """
     path = cache_path(cache_dir, cfg)
     try:
@@ -200,6 +258,8 @@ def load_cached(cache_dir: str | os.PathLike, cfg: RunConfig) -> Optional[RunCou
         data = json.loads(text)
         if not isinstance(data, dict):
             raise TypeError("counter payload must be a JSON object")
+        if data.get("__digest__") != payload_digest(data):
+            raise ValueError("content digest mismatch")
         return counters_from_dict(data)
     except (json.JSONDecodeError, KeyError, TypeError, ValueError):
         try:
@@ -216,14 +276,34 @@ def _dump_payload(payload: dict) -> str:
 
 
 def store_payload(cache_dir: str | os.PathLike, cfg: RunConfig, payload: dict) -> Path:
-    """Atomically persist one run's counter dict (tmp file + ``os.replace``)."""
+    """Atomically and durably persist one run's counter dict.
+
+    The tmp file is fsynced before ``os.replace`` and the directory is
+    fsynced after, so a crash at any instant leaves either the old entry
+    or the complete new one — never an empty or torn file under the
+    final name.  A content digest is stamped into the payload so silent
+    on-disk corruption (bit rot, partial overwrite) is detectable at
+    load time.
+    """
     target = cache_path(cache_dir, cfg)
     target.parent.mkdir(parents=True, exist_ok=True)
+    payload = dict(payload)
+    payload["__digest__"] = payload_digest(payload)
     fd, tmp = tempfile.mkstemp(dir=target.parent, prefix=target.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(_dump_payload(payload))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, target)
+        try:
+            dir_fd = os.open(target.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform without dir fsync
+            pass
     except BaseException:
         try:
             os.unlink(tmp)
@@ -283,23 +363,56 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def backoff_delay(base_s: float, key: str, attempt: int) -> float:
+    """Exponential backoff with *deterministic* jitter.
+
+    The jitter fraction is derived from a hash of (key, attempt), so a
+    re-run of the same sweep produces the same schedule — chaos
+    campaigns stay reproducible — while distinct configs still spread
+    out instead of thundering in lockstep.
+    """
+    if base_s <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{key}#{attempt}".encode()).digest()
+    frac = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+    return base_s * (2.0 ** (attempt - 1)) * (0.5 + frac)
+
+
 def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
                  cache_dir: str | os.PathLike = ".repro_cache",
                  jobs: int = 1,
                  use_disk: bool = True,
                  timeout_s: Optional[float] = None,
                  retries: int = 1,
+                 backoff_s: float = 0.0,
                  on_event: Optional[EventCallback] = None,
-                 worker: Worker = simulate_to_dict) -> ExecutionResult:
+                 worker: Worker = simulate_to_dict,
+                 validate: bool = False,
+                 quarantine_after: int = 2,
+                 journal: Optional[str | os.PathLike] = None) -> ExecutionResult:
     """Execute every config in *plan*, returning counters keyed by
     :meth:`RunConfig.key`.
 
     Already-cached runs are partitioned out first (``cache_hit`` events);
     the remainder runs on a process pool of *jobs* workers (``jobs <= 1``
-    runs in-process).  Each run gets ``1 + retries`` attempts and, when
+    runs in-process).  Each run gets ``1 + retries`` attempts — with
+    ``backoff_s``-scaled exponential backoff between them — and, when
     *timeout_s* is set, a per-attempt wall-clock budget.  Runs that
     exhaust their attempts are reported in ``result.failed`` rather than
     raising, so one bad configuration cannot sink a 50-run sweep.
+
+    With ``validate=True`` every payload is checked against the counter
+    invariants; a failing payload consumes an attempt, and after
+    ``quarantine_after`` validation failures the config is quarantined
+    (no further retries).  FLOP conservation across the optimization
+    ladder is checked once all runs are in; verdicts land in
+    ``result.validation``.
+
+    With ``journal=<path>`` the sweep checkpoints its progress to an
+    append-only fsynced file; a subsequent call with the same journal
+    resumes — completed runs are recalled from the cache, permanently
+    failed and quarantined configs are carried over without re-running,
+    and interrupted configs keep their consumed retry budget.
     """
     if isinstance(plan, ExecutionPlan):
         configs = list(plan.configs)
@@ -309,79 +422,210 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
     result = ExecutionResult()
     t_start = time.monotonic()
 
+    jstate = replay_journal(journal) if journal is not None else None
+    jwriter = SweepJournal(journal) if journal is not None else None
+    if jwriter is not None:
+        jwriter.record("sweep_start", plan=len(configs),
+                       model=MODEL_VERSION)
+
+    def jrecord(ev: str, **fields) -> None:
+        if jwriter is not None:
+            jwriter.record(ev, **fields)
+
     def emit(kind: str, key: str, attempt: int = 1, wall_s: float = 0.0,
              error: str = "") -> None:
-        if on_event is not None:
+        """Deliver one progress event; a crashing callback is an
+        observability problem, never a reason to abort the sweep."""
+        if on_event is None:
+            return
+        try:
             on_event(RunEvent(kind=kind, key=key, attempt=attempt,
                               wall_s=wall_s, error=error))
+        except Exception as exc:
+            print(f"[repro] progress callback failed on {kind} {key}: "
+                  f"{exc!r}", file=sys.stderr, flush=True)
 
-    # -- partition out cache hits -----------------------------------------
-    todo: list[RunConfig] = []
+    if validate:
+        from repro.validation.invariants import check_flop_ladder, validate_run
+    cfg_by_key = {cfg.key(): cfg for cfg in configs}
+
+    def check_payload(cfg: RunConfig, counters: RunCounters) -> list[str]:
+        return validate_run(cfg, counters) if validate else []
+
+    # -- partition: cache hits, journalled failures, remaining work --------
+    todo: deque = deque()  # entries: (cfg, attempt, ready_at)
     for cfg in configs:
+        key = cfg.key()
         cached = load_cached(cache_dir, cfg) if use_disk else None
+        if cached is not None and validate:
+            violations = check_payload(cfg, cached)
+            if violations:
+                # corrupted-but-parseable entry: discard and re-simulate.
+                try:
+                    cache_path(cache_dir, cfg).unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+                emit("invalid", key, error="; ".join(violations))
+                result.stats.validation_failures += 1
+                cached = None
         if cached is not None:
-            result.runs[cfg.key()] = cached
+            result.runs[key] = cached
             result.stats.cache_hits += 1
-            emit("cache_hit", cfg.key())
-        else:
-            todo.append(cfg)
+            if validate:
+                result.validation[key] = {"ok": True, "violations": []}
+            emit("cache_hit", key)
+            continue
+        if jstate is not None and key in jstate.quarantined:
+            error = f"quarantined in journalled sweep: {jstate.quarantined[key]}"
+            result.failed[key] = error
+            result.quarantined[key] = error
+            result.stats.failures += 1
+            result.stats.quarantined += 1
+            emit("quarantined", key, error=error)
+            continue
+        if jstate is not None and key in jstate.failed:
+            error = f"failed in journalled sweep: {jstate.failed[key]}"
+            result.failed[key] = error
+            result.stats.failures += 1
+            emit("failed", key, error=error)
+            continue
+        attempt = 1 + (jstate.fail_attempts.get(key, 0)
+                       if jstate is not None else 0)
+        if attempt > retries + 1:
+            error = "retry budget exhausted in interrupted sweep"
+            result.failed[key] = error
+            result.stats.failures += 1
+            jrecord("failed", key=key, error=error)
+            emit("failed", key, attempt=attempt - 1, error=error)
+            continue
+        todo.append((cfg, attempt, 0.0))
 
-    def record(cfg: RunConfig, payload: dict, attempt: int, wall_s: float) -> None:
-        result.runs[cfg.key()] = counters_from_dict(payload)
-        result.stats.simulated += 1
-        if use_disk:
-            store_payload(cache_dir, cfg, payload)
-        emit("done", cfg.key(), attempt=attempt, wall_s=wall_s)
+    validation_fails: dict[str, int] = {}
+
+    def quarantine(cfg: RunConfig, attempt: int, error: str) -> None:
+        key = cfg.key()
+        result.failed[key] = error
+        result.quarantined[key] = error
+        result.stats.failures += 1
+        result.stats.quarantined += 1
+        jrecord("quarantined", key=key, error=error)
+        emit("quarantined", key, attempt=attempt, error=error)
 
     def handle_failure(cfg: RunConfig, attempt: int, error: str,
-                       queue: deque) -> None:
+                       queue: deque, from_validation: bool = False) -> None:
+        key = cfg.key()
+        if from_validation:
+            validation_fails[key] = validation_fails.get(key, 0) + 1
+            if validation_fails[key] >= quarantine_after:
+                quarantine(cfg, attempt,
+                           f"quarantined after {validation_fails[key]} "
+                           f"validation failure(s): {error}")
+                return
         if attempt <= retries:
             result.stats.retries += 1
-            emit("retry", cfg.key(), attempt=attempt, error=error)
-            queue.append((cfg, attempt + 1))
+            jrecord("fail_attempt", key=key, attempt=attempt, error=error)
+            emit("retry", key, attempt=attempt, error=error)
+            ready_at = time.monotonic() + backoff_delay(backoff_s, key, attempt)
+            queue.append((cfg, attempt + 1, ready_at))
         else:
             result.stats.failures += 1
-            result.failed[cfg.key()] = error
-            emit("failed", cfg.key(), attempt=attempt, error=error)
+            result.failed[key] = error
+            jrecord("failed", key=key, error=error)
+            emit("failed", key, attempt=attempt, error=error)
 
-    if todo:
-        if jobs <= 1:
-            _run_serial(todo, worker, retries, emit, record, result)
-        else:
-            _run_pool(todo, worker, jobs, retries, timeout_s,
-                      emit, record, handle_failure, result)
+    def record(cfg: RunConfig, payload: dict, attempt: int, wall_s: float,
+               queue: deque) -> None:
+        key = cfg.key()
+        try:
+            counters = counters_from_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            # unusable payload (e.g. NaN-poisoned counters): a detected
+            # fault, charged like a validation failure.
+            result.stats.validation_failures += 1
+            emit("invalid", key, attempt=attempt, error=repr(exc))
+            handle_failure(cfg, attempt, f"unusable payload: {exc!r}",
+                           queue, from_validation=True)
+            return
+        violations = check_payload(cfg, counters)
+        if violations:
+            error = "validation failed: " + "; ".join(violations)
+            result.stats.validation_failures += 1
+            result.validation[key] = {"ok": False, "violations": violations}
+            emit("invalid", key, attempt=attempt, error=error)
+            handle_failure(cfg, attempt, error, queue, from_validation=True)
+            return
+        result.runs[key] = counters
+        result.stats.simulated += 1
+        if validate:
+            result.validation[key] = {"ok": True, "violations": []}
+        if use_disk:
+            if validate:
+                payload = {**payload, "__validation__": {"ok": True}}
+            store_payload(cache_dir, cfg, payload)
+        jrecord("done", key=key)
+        emit("done", key, attempt=attempt, wall_s=wall_s)
+
+    try:
+        if todo:
+            if jobs <= 1:
+                _run_serial(todo, worker, emit, record, handle_failure, result)
+            else:
+                _run_pool(todo, worker, jobs, timeout_s,
+                          emit, record, handle_failure, result)
+
+        # -- cross-run validation: FLOP conservation over the ladder -------
+        if validate:
+            ladder_runs = {cfg_by_key[k]: run for k, run in result.runs.items()
+                           if k in cfg_by_key}
+            for key, violations in check_flop_ladder(ladder_runs).items():
+                verdict = result.validation.setdefault(
+                    key, {"ok": True, "violations": []})
+                verdict["ok"] = False
+                verdict["violations"] = list(verdict["violations"]) + violations
+                result.stats.validation_failures += 1
+                emit("invalid", key, error="; ".join(violations))
+                if use_disk and key in result.runs:
+                    payload = counters_to_dict(result.runs[key])
+                    payload["__validation__"] = {
+                        "ok": False, "violations": violations}
+                    store_payload(cache_dir, cfg_by_key[key], payload)
+
+        jrecord("sweep_end")
+    finally:
+        if jwriter is not None:
+            jwriter.close()
 
     result.stats.wall_s = time.monotonic() - t_start
     return result
 
 
-def _run_serial(todo: Sequence[RunConfig], worker: Worker, retries: int,
-                emit, record, result: ExecutionResult) -> None:
-    """In-process execution path (``jobs <= 1`` and broken-pool fallback)."""
-    queue: deque = deque((cfg, 1) for cfg in todo)
+def _run_serial(queue: deque, worker: Worker,
+                emit, record, handle_failure, result: ExecutionResult) -> None:
+    """In-process execution path (``jobs <= 1`` and broken-pool fallback).
+
+    Queue entries are ``(cfg, attempt, ready_at)`` so retries keep their
+    consumed budget — including when this path takes over from a broken
+    process pool mid-sweep — and backoff schedules are honoured.
+    """
     while queue:
-        cfg, attempt = queue.popleft()
+        cfg, attempt, ready_at = queue.popleft()
         if cfg.key() in result.runs:  # a retry may race a later success
             continue
+        delay = ready_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
         emit("start", cfg.key(), attempt=attempt)
         t0 = time.monotonic()
         try:
             payload = worker(cfg)
         except Exception as exc:
-            if attempt <= retries:
-                result.stats.retries += 1
-                emit("retry", cfg.key(), attempt=attempt, error=repr(exc))
-                queue.append((cfg, attempt + 1))
-            else:
-                result.stats.failures += 1
-                result.failed[cfg.key()] = repr(exc)
-                emit("failed", cfg.key(), attempt=attempt, error=repr(exc))
+            handle_failure(cfg, attempt, repr(exc), queue)
         else:
-            record(cfg, payload, attempt, time.monotonic() - t0)
+            record(cfg, payload, attempt, time.monotonic() - t0, queue)
 
 
-def _run_pool(todo: Sequence[RunConfig], worker: Worker, jobs: int,
-              retries: int, timeout_s: Optional[float],
+def _run_pool(queue: deque, worker: Worker, jobs: int,
+              timeout_s: Optional[float],
               emit, record, handle_failure, result: ExecutionResult) -> None:
     """Process-pool execution with per-run timeout and bounded retry.
 
@@ -389,9 +633,8 @@ def _run_pool(todo: Sequence[RunConfig], worker: Worker, jobs: int,
     cannot be killed portably, but its result is discarded) and retried.
     If the pool itself breaks — a worker segfaults or is OOM-killed — the
     pool is rebuilt once; a second break degrades to in-process execution
-    so the sweep still completes.
+    (attempt counts intact) so the sweep still completes.
     """
-    queue: deque = deque((cfg, 1) for cfg in todo)
     pool_rebuilds = 1
 
     while queue:
@@ -399,15 +642,28 @@ def _run_pool(todo: Sequence[RunConfig], worker: Worker, jobs: int,
         pending: dict[Future, tuple[RunConfig, int, float]] = {}
         try:
             while queue or pending:
-                while queue and len(pending) < jobs:
-                    cfg, attempt = queue.popleft()
+                now = time.monotonic()
+                for _ in range(len(queue)):
+                    if len(pending) >= jobs:
+                        break
+                    cfg, attempt, ready_at = queue[0]
                     if cfg.key() in result.runs:
+                        queue.popleft()
                         continue
+                    if ready_at > now:  # backing off: try the next entry
+                        queue.rotate(-1)
+                        continue
+                    queue.popleft()
                     fut = pool.submit(worker, cfg)
-                    pending[fut] = (cfg, attempt, time.monotonic())
+                    pending[fut] = (cfg, attempt, now)
                     emit("start", cfg.key(), attempt=attempt)
                 if not pending:
-                    break
+                    if not queue:
+                        break
+                    # everything queued is backing off: wait a beat.
+                    wake = min(entry[2] for entry in queue)
+                    time.sleep(min(0.05, max(0.0, wake - now)))
+                    continue
                 done, _ = wait(pending, timeout=0.1,
                                return_when=FIRST_COMPLETED)
                 now = time.monotonic()
@@ -421,7 +677,7 @@ def _run_pool(todo: Sequence[RunConfig], worker: Worker, jobs: int,
                     except Exception as exc:
                         handle_failure(cfg, attempt, repr(exc), queue)
                     else:
-                        record(cfg, payload, attempt, now - t0)
+                        record(cfg, payload, attempt, now - t0, queue)
                 if timeout_s is not None:
                     for fut in list(pending):
                         cfg, attempt, t0 = pending[fut]
@@ -441,8 +697,7 @@ def _run_pool(todo: Sequence[RunConfig], worker: Worker, jobs: int,
                 pool_rebuilds -= 1
                 continue
             pool.shutdown(wait=False, cancel_futures=True)
-            _run_serial([cfg for cfg, _a in queue], worker, retries,
-                        emit, record, result)
+            _run_serial(queue, worker, emit, record, handle_failure, result)
             return
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,115 @@
+"""Durable sweep journal: checkpoint/resume for ``execute_plan``.
+
+A sweep killed mid-flight (SIGINT, OOM, power loss) must resume without
+re-running completed work and without granting crashed configs a fresh
+retry budget.  The journal is an append-only JSONL file next to the run
+cache; every record is flushed and fsynced before the sweep proceeds, so
+the journal is never *ahead* of reality.
+
+Record kinds (one JSON object per line):
+
+* ``sweep_start`` -- a new ``execute_plan`` call began (resets the
+  per-sweep attempt accounting);
+* ``done`` / ``fail_attempt`` / ``failed`` / ``quarantined`` -- per-run
+  lifecycle, keyed by :meth:`RunConfig.key`;
+* ``sweep_end`` -- the sweep finished; a journal whose last segment has
+  no ``sweep_end`` records an interrupted sweep.
+
+:func:`replay_journal` folds the **last** segment into a
+:class:`JournalState`; earlier segments are irrelevant because completed
+runs also live in the versioned disk cache.  A torn trailing line (the
+crash may have hit mid-append) is ignored, mirroring the cache's
+corruption-recovery contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+
+@dataclass
+class JournalState:
+    """Folded view of a journal's last sweep segment."""
+
+    #: keys whose runs completed (their counters are in the disk cache).
+    done: set = field(default_factory=set)
+    #: failed attempts per key in the interrupted segment -- consumed
+    #: retry budget that a resume must honour.
+    fail_attempts: Counter = field(default_factory=Counter)
+    #: keys that failed permanently, with the last error.
+    failed: dict = field(default_factory=dict)
+    #: keys quarantined for repeated validation failure.
+    quarantined: dict = field(default_factory=dict)
+    #: True when the segment has a ``sweep_start`` without ``sweep_end``.
+    interrupted: bool = False
+
+
+def replay_journal(path: str | os.PathLike) -> Optional[JournalState]:
+    """Fold an existing journal; ``None`` when the file does not exist."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except (FileNotFoundError, OSError):
+        return None
+    state = JournalState()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+            ev = rec["ev"]
+        except (json.JSONDecodeError, TypeError, KeyError):
+            continue  # torn trailing write: ignore, never crash
+        if ev == "sweep_start":
+            state = JournalState(interrupted=True)
+        elif ev == "sweep_end":
+            state.interrupted = False
+        elif ev == "done":
+            key = rec.get("key", "")
+            state.done.add(key)
+            state.failed.pop(key, None)
+        elif ev == "fail_attempt":
+            state.fail_attempts[rec.get("key", "")] += 1
+        elif ev == "failed":
+            state.failed[rec.get("key", "")] = rec.get("error", "")
+        elif ev == "quarantined":
+            key = rec.get("key", "")
+            state.quarantined[key] = rec.get("error", "")
+            state.failed[key] = rec.get("error", "")
+    return state
+
+
+class SweepJournal:
+    """Append-only, fsynced journal writer for one ``execute_plan``."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def record(self, ev: str, **fields) -> None:
+        line = json.dumps({"ev": ev, **fields}, sort_keys=True)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:  # pragma: no cover - e.g. journal on a pipe
+            pass
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -68,7 +68,9 @@ class Session:
                  verbose: bool = False,
                  jobs: int = 1,
                  timeout_s: Optional[float] = None,
-                 retries: int = 1):
+                 retries: int = 1,
+                 validate: bool = False,
+                 journal: Optional[str | os.PathLike] = None):
         self.mesh_dims = tuple(mesh_dims)
         self.cache_dir = Path(cache_dir)
         if use_disk is None:
@@ -78,6 +80,8 @@ class Session:
         self.jobs = max(1, jobs)
         self.timeout_s = timeout_s
         self.retries = retries
+        self.validate = validate
+        self.journal = journal
         self._mesh: Optional[Mesh] = None
         self._memo: dict[str, RunCounters] = {}
         self._apps: dict[tuple, MiniApp] = {}
@@ -134,6 +138,7 @@ class Session:
         if self.use_disk:
             cached = load_cached(self.cache_dir, cfg)
             if cached is not None:
+                self._check(cfg, cached)
                 self._memo[key] = cached
                 return cached
         if self.verbose:  # pragma: no cover - console feedback
@@ -145,10 +150,23 @@ class Session:
             run = app.run_timed(get_machine(cfg.machine), machine=m)
         else:
             run = simulate_run(cfg)
+        self._check(cfg, run)
         self._memo[key] = run
         if self.use_disk:
             store_cached(self.cache_dir, cfg, run)
         return run
+
+    def _check(self, cfg: RunConfig, run: RunCounters) -> None:
+        """Counter-invariant gate for the single-run path (the batch
+        path validates inside ``execute_plan``)."""
+        if not self.validate:
+            return
+        from repro.validation.invariants import validate_run
+
+        violations = validate_run(cfg, run)
+        if violations:
+            raise SweepError({cfg.key(): "validation failed: "
+                              + "; ".join(violations)})
 
     def run_many(self, configs: Iterable[RunConfig] | ExecutionPlan,
                  jobs: Optional[int] = None,
@@ -167,7 +185,7 @@ class Session:
             configs = list(configs)
         todo = [cfg for cfg in configs if cfg.key() not in self._memo]
         effective_jobs = self.jobs if jobs is None else max(1, jobs)
-        if todo and effective_jobs <= 1:
+        if todo and effective_jobs <= 1 and not (self.validate or self.journal):
             # In-process: reuse this session's memoized mesh and apps.
             for cfg in todo:
                 self.run(cfg)
@@ -180,9 +198,17 @@ class Session:
                 timeout_s=self.timeout_s if timeout_s is None else timeout_s,
                 retries=self.retries if retries is None else retries,
                 on_event=self._log_event if self.verbose else None,
+                validate=self.validate,
+                journal=self.journal,
             )
             if result.failed:
                 raise SweepError(result.failed)
+            invalid = result.invalid_keys()
+            if invalid:
+                raise SweepError({
+                    k: "validation failed: "
+                       + "; ".join(result.validation[k]["violations"])
+                    for k in invalid})
             self._memo.update(result.runs)
         return [self._memo[cfg.key()] for cfg in configs]
 

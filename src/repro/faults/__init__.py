@@ -1,0 +1,35 @@
+"""Seeded fault injection + chaos campaigns for the reproduction stack.
+
+The robustness counterpart of :mod:`repro.validation`: where validation
+*checks* results, this package deliberately *breaks* the stack —
+poisoned emulator lanes, drifted cache accounting, crashing / hanging /
+lying sweep workers, torn cache files, interrupted sweeps — and
+:func:`run_chaos_campaign` proves every injected fault is either
+recovered transparently or loudly detected, never silently absorbed
+into an artifact.  Everything is derived from one integer seed, so a
+failing campaign replays exactly (see ``repro chaos --seed N``).
+"""
+
+from repro.faults.plan import WORKER_FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.injector import (
+    FaultyWorker,
+    InterruptingWorker,
+    flip_float64_bit,
+    inject_cache_miss_drift,
+    inject_vreg_nan,
+)
+from repro.faults.chaos import ChaosReport, StageReport, run_chaos_campaign
+
+__all__ = [
+    "ChaosReport",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyWorker",
+    "InterruptingWorker",
+    "StageReport",
+    "WORKER_FAULT_KINDS",
+    "flip_float64_bit",
+    "inject_cache_miss_drift",
+    "inject_vreg_nan",
+    "run_chaos_campaign",
+]

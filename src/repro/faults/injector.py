@@ -1,0 +1,174 @@
+"""Fault injectors: low-level corruption primitives + faulty workers.
+
+Two layers live here:
+
+* **primitives** that corrupt in-memory state directly —
+  :func:`flip_float64_bit`, :func:`inject_vreg_nan`,
+  :func:`inject_cache_miss_drift` — used by the chaos drills to prove
+  :meth:`VectorEmulator.validate_state` and the cache invariants catch
+  poisoned lanes and impossible accounting;
+* **workers** — :class:`FaultyWorker`, :class:`InterruptingWorker` —
+  drop-in replacements for ``simulate_to_dict`` handed to
+  ``execute_plan(worker=...)``.  ``FaultyWorker`` is picklable (it must
+  cross a ``ProcessPoolExecutor`` boundary) and strikes **once** per
+  spec: strike claims go through an ``O_CREAT | O_EXCL`` marker file so
+  exactly one process wins even when the sweep fans out, and every retry
+  after the strike computes honestly — which is precisely what lets the
+  chaos harness distinguish *recovered* from *silently absorbed*.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.experiments.config import RunConfig
+from repro.experiments.executor import cache_path, simulate_to_dict
+from repro.faults.plan import FaultPlan, FaultSpec
+
+#: exit status used by the ``kill`` fault (mirrors a SIGKILLed worker
+#: from the pool's point of view: the process vanishes without a result).
+KILL_EXIT_STATUS = 13
+
+
+# ---------------------------------------------------------------------------
+# Corruption primitives
+# ---------------------------------------------------------------------------
+
+
+def flip_float64_bit(arr: np.ndarray, index: int, bit: int) -> None:
+    """Flip one bit of one float64 element in place.
+
+    ``bit`` 62 (top exponent bit) turns a normal value into a huge or
+    tiny one; flipping exponent bits 52..62 all at once yields NaN/Inf.
+    This is the classic single-event-upset model for memory faults.
+    """
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit must be in [0, 64), got {bit}")
+    flat = arr.reshape(-1).view(np.uint64)
+    flat[index] ^= np.uint64(1) << np.uint64(bit)
+
+
+def inject_vreg_nan(emu, reg: int, lane: int) -> None:
+    """NaN-poison one lane of one vector register of a
+    :class:`~repro.isa.emulator.VectorEmulator`."""
+    emu.vregs[reg, lane] = np.nan
+
+
+def inject_cache_miss_drift(cache, delta: int) -> None:
+    """Perturb a cache level's miss count by ``delta`` (models broken
+    accounting: e.g. ``+accesses`` makes misses exceed accesses)."""
+    cache.misses += delta
+
+
+# ---------------------------------------------------------------------------
+# Faulty sweep workers
+# ---------------------------------------------------------------------------
+
+
+class FaultyWorker:
+    """A ``simulate_to_dict`` wrapper that injects the faults of a
+    :class:`FaultPlan` — each exactly once.
+
+    Parameters
+    ----------
+    plan:
+        the seeded fault plan; only specs whose ``kind`` is in *kinds*
+        are armed (arming one kind per sweep keeps stages attributable).
+    marker_dir:
+        directory for the strike-once marker files; share it across the
+        retries of one sweep, refresh it between sweeps.
+    cache_dir:
+        the sweep's cache directory (needed by ``torn_cache``).
+    parent_pid:
+        pid of the orchestrating process; the ``kill`` fault refuses to
+        ``os._exit`` there and degrades to a crash so a serial sweep is
+        never taken down.
+    hang_s:
+        stall duration for the ``hang`` fault (set it above the sweep's
+        ``timeout_s``).
+    """
+
+    def __init__(self, plan: FaultPlan, marker_dir: str | os.PathLike,
+                 kinds: Optional[tuple[str, ...]] = None,
+                 cache_dir: str | os.PathLike = "",
+                 parent_pid: Optional[int] = None,
+                 hang_s: float = 4.0):
+        armed = plan.specs if kinds is None else tuple(
+            s for s in plan.specs if s.kind in kinds)
+        self.specs = armed
+        self.marker_dir = str(marker_dir)
+        self.cache_dir = str(cache_dir)
+        self.parent_pid = os.getpid() if parent_pid is None else parent_pid
+        self.hang_s = hang_s
+
+    def _claim(self, spec: FaultSpec) -> bool:
+        """Atomically claim one strike; loser processes pass through."""
+        Path(self.marker_dir).mkdir(parents=True, exist_ok=True)
+        marker = Path(self.marker_dir) / f"{spec.kind}.struck"
+        try:
+            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            return True
+        except FileExistsError:
+            return False
+
+    def _tear_cache_entry(self, victim_key: str) -> None:
+        """Truncate the victim's cache entry to half its bytes, in place
+        under its *final* name — the torn write the durable cache path
+        is designed to make impossible, forced from outside."""
+        for path in Path(self.cache_dir).glob(f"*-{victim_key}.json"):
+            data = path.read_bytes()
+            path.write_bytes(data[: max(1, len(data) // 2)])
+
+    def __call__(self, cfg: RunConfig) -> dict:
+        key = cfg.key()
+        for spec in self.specs:
+            if spec.target_key and spec.target_key != key:
+                continue
+            if not self._claim(spec):
+                continue
+            if spec.kind == "crash":
+                raise RuntimeError(f"injected fault: worker crash on {key}")
+            if spec.kind == "kill":
+                if os.getpid() != self.parent_pid:
+                    os._exit(KILL_EXIT_STATUS)
+                raise RuntimeError(
+                    f"injected fault: worker kill on {key} (in-process)")
+            if spec.kind == "hang":
+                time.sleep(self.hang_s)
+                continue  # then compute honestly: only the stall is the fault
+            payload = simulate_to_dict(cfg)
+            if spec.kind == "nan_counter":
+                payload["1"]["cycles_total"] = float("nan")
+            elif spec.kind == "negative_counter":
+                payload["1"]["cycles_total"] = -abs(
+                    payload["1"]["cycles_total"]) - 1.0
+            elif spec.kind == "flop_drift":
+                for phase in payload.values():
+                    phase["flops"] = phase["flops"] * 1.01
+            elif spec.kind == "torn_cache":
+                self._tear_cache_entry(spec.victim_key)
+            else:
+                raise ValueError(f"unknown fault kind {spec.kind!r}")
+            return payload
+        return simulate_to_dict(cfg)
+
+
+class InterruptingWorker:
+    """Completes ``stop_after`` runs, then raises ``KeyboardInterrupt`` —
+    the journal-resume drill's stand-in for Ctrl-C / SIGINT mid-sweep.
+    Serial-only (``jobs=1``): the interrupt must hit the orchestrator."""
+
+    def __init__(self, stop_after: int):
+        self.stop_after = stop_after
+        self.calls = 0
+
+    def __call__(self, cfg: RunConfig) -> dict:
+        if self.calls >= self.stop_after:
+            raise KeyboardInterrupt("injected fault: sweep interrupted")
+        self.calls += 1
+        return simulate_to_dict(cfg)

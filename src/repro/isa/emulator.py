@@ -235,6 +235,33 @@ class VectorEmulator:
         # tail elements (>= vl) stay undisturbed, per RVV semantics.
         self.trace.append(ExecutedRecord(op, vl))
 
+    # -- validation ------------------------------------------------------------
+
+    def validate_state(self) -> list[str]:
+        """Architectural-state sanity check, returned as a list of
+        violations (empty when healthy).
+
+        This is the detection side of the fault-injection harness
+        (:mod:`repro.faults`): a soft error that flips a mantissa bit to
+        produce Inf, poisons a lane with NaN, or corrupts the granted
+        vector length must be *reported* here rather than laundered into
+        downstream counters.
+        """
+        out: list[str] = []
+        if not 0 <= self.vl <= self.vl_max:
+            out.append(f"vl={self.vl} outside [0, vl_max={self.vl_max}]")
+        bad_lanes = int(np.count_nonzero(~np.isfinite(self.vregs)))
+        if bad_lanes:
+            out.append(f"{bad_lanes} non-finite vector register lane(s)")
+        bad_mem = int(np.count_nonzero(~np.isfinite(self.mem)))
+        if bad_mem:
+            out.append(f"{bad_mem} non-finite memory word(s)")
+        over = sum(1 for r in self.trace if not 0 <= r.vl <= self.vl_max)
+        if over:
+            out.append(
+                f"{over} trace record(s) with vl outside [0, {self.vl_max}]")
+        return out
+
     # -- convenience -----------------------------------------------------------
 
     def avl_of_trace(self) -> float:

@@ -95,6 +95,21 @@ class Cache:
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def check_invariants(self, label: str = "cache") -> list[str]:
+        """Accounting sanity: ``0 <= misses <= accesses``.  Returns the
+        violations (empty when healthy) — the detection hook for the
+        fault-injection harness's perturbed-counter experiments."""
+        out: list[str] = []
+        if self.misses < 0:
+            out.append(f"{label}: negative miss count {self.misses}")
+        if self.accesses < 0:
+            out.append(f"{label}: negative access count {self.accesses}")
+        if self.misses > self.accesses:
+            out.append(
+                f"{label}: misses ({self.misses}) exceed accesses "
+                f"({self.accesses})")
+        return out
+
 
 class MemoryHierarchy:
     """L1 (+ optional L2) hierarchy with penalty accounting.
@@ -139,6 +154,25 @@ class MemoryHierarchy:
             l2_missed = self.l2.access_lines(l1_missed)
             penalty += l2_missed.size * self.params.l2.miss_penalty
         return penalty
+
+    def check_invariants(self) -> list[str]:
+        """Hierarchy-wide accounting invariants (empty when healthy):
+        per-level sanity plus inclusion (L2 is only fed L1's missed
+        lines, so cumulative L2 accesses equal cumulative L1 misses)."""
+        out = self.l1.check_invariants("L1")
+        if self.l2 is not None:
+            out += self.l2.check_invariants("L2")
+            if self.l2.accesses != self.l1.misses:
+                out.append(
+                    f"L2 accesses ({self.l2.accesses}) != L1 misses "
+                    f"({self.l1.misses})")
+        if self.element_accesses < 0:
+            out.append(f"negative element access count {self.element_accesses}")
+        if self.enabled and self.l1.accesses > self.element_accesses:
+            out.append(
+                f"L1 accesses ({self.l1.accesses}) exceed element accesses "
+                f"({self.element_accesses})")
+        return out
 
     @property
     def l1_misses(self) -> int:

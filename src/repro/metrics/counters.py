@@ -13,6 +13,7 @@ phases); :class:`RunCounters` is the per-execution collection.
 from __future__ import annotations
 
 import json
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable
@@ -165,14 +166,35 @@ def counters_to_dict(run: RunCounters) -> dict:
     return out
 
 
+def _finite_number(field_name: str, value) -> float | int:
+    """Accept only finite real numbers: a corrupted-but-parseable payload
+    (NaN/Inf smuggled through JSON via ``Infinity`` literals, or a bit
+    flip that decoded to ``inf``) must never round-trip into artifacts."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{field_name}: expected a number, got {value!r}")
+    if not math.isfinite(value):
+        raise ValueError(f"{field_name}: non-finite value {value!r}")
+    return value
+
+
 def counters_from_dict(data: dict) -> RunCounters:
-    """Inverse of :func:`counters_to_dict`."""
+    """Inverse of :func:`counters_to_dict`.
+
+    Keys starting with ``__`` are reserved for payload metadata (cache
+    digest, validation verdict) and skipped.  Non-finite counter values
+    raise ``ValueError`` so damaged payloads are rejected at the parse
+    boundary instead of flowing into tables and figures.
+    """
     run = RunCounters()
     for pid_s, rec in data.items():
+        if pid_s.startswith("__"):
+            continue
         pc = PhaseCounters(phase=int(pid_s))
         for f in COUNTER_FIELDS:
-            setattr(pc, f, rec[f])
-        pc.vl_hist = Counter({int(k): v for k, v in rec["vl_hist"].items()})
+            setattr(pc, f, _finite_number(f, rec[f]))
+        pc.vl_hist = Counter(
+            {int(k): _finite_number(f"vl_hist[{k}]", v)
+             for k, v in rec["vl_hist"].items()})
         run.phases[int(pid_s)] = pc
     return run
 

@@ -1,0 +1,34 @@
+"""Validation layer: prove the reproduction *detects* corruption.
+
+The paper's measurements come from a fragile stack -- a 50 MHz FPGA
+prototype, a research compiler, hand-instrumented phase counters --
+where one silent mis-measurement poisons every downstream table.  This
+package is the reproduction's answer: every simulated run can be
+cross-checked against cheap structural invariants
+(:mod:`repro.validation.invariants`) and, per optimization rung, against
+the NumPy golden reference of the eight phases
+(:mod:`repro.validation.golden`).
+
+The sweep executor threads these checks through
+``execute_plan(validate=True)``; the :mod:`repro.faults` chaos harness
+proves they fire on injected faults.
+"""
+
+from repro.validation.invariants import (
+    check_flop_ladder,
+    check_phase_counters,
+    check_run_counters,
+    validate_run,
+    vl_max_for,
+)
+from repro.validation.golden import GoldenReport, golden_check
+
+__all__ = [
+    "GoldenReport",
+    "check_flop_ladder",
+    "check_phase_counters",
+    "check_run_counters",
+    "golden_check",
+    "validate_run",
+    "vl_max_for",
+]

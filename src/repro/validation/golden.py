@@ -1,0 +1,134 @@
+"""Golden-reference validation: IR kernels vs NumPy semantics, per phase.
+
+The reproduction's timing results are only meaningful if the compiled
+kernels compute the same mathematics as the paper's mini-app.  This
+module turns the test-suite argument (``interpreter == reference``) into
+a runtime validator: :func:`golden_check` interprets the IR kernels of
+one optimization rung chunk by chunk and, **after every phase**,
+compares that phase's output arrays -- and ultimately the assembled
+global RHS and CSR matrix -- against :mod:`repro.cfd.reference` within
+tolerance.
+
+Because the IR interpreter is deliberately slow, golden checks run on a
+small probe mesh (the semantics of a rung do not depend on mesh size or
+VECTOR_SIZE beyond tail padding, which the probe exercises).  The chaos
+harness (:mod:`repro.faults`) additionally injects numeric faults
+through the ``corrupt`` hook to prove a poisoned lane is *detected* and
+pinned to the phase it struck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cfd.assembly import MiniApp
+from repro.cfd.mesh import box_mesh
+from repro.cfd.reference import PHASE_OUTPUTS, REF_PHASES
+from repro.compiler.interpreter import Interpreter
+
+#: default probe: 12 elements; VECTOR_SIZE=8 pads the tail chunk, so the
+#: padding path is validated too (mirrors tests/cfd/test_semantics.py).
+PROBE_MESH: tuple[int, int, int] = (3, 2, 2)
+PROBE_VECTOR_SIZE = 8
+
+#: corruption hook: (instance, phase_id, chunk_index) -> None, called
+#: after the interpreter ran the phase and before the cross-check.
+CorruptHook = Callable[[object, int, int], None]
+
+
+@dataclass
+class GoldenReport:
+    """Outcome of one golden-reference cross-check."""
+
+    opt: str
+    vector_size: int
+    mesh_dims: tuple[int, int, int]
+    rtol: float
+    atol: float
+    #: worst absolute deviation seen per phase (diagnostics).
+    max_abs_error: dict[int, float] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "opt": self.opt,
+            "vector_size": self.vector_size,
+            "mesh_dims": list(self.mesh_dims),
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "max_abs_error": {str(p): e for p, e in
+                              sorted(self.max_abs_error.items())},
+        }
+
+
+def golden_check(opt: str,
+                 vector_size: int = PROBE_VECTOR_SIZE,
+                 mesh_dims: tuple[int, int, int] = PROBE_MESH,
+                 *,
+                 field_seed: int = 0,
+                 rtol: float = 1e-9,
+                 atol: float = 1e-12,
+                 max_violations: int = 20,
+                 corrupt: Optional[CorruptHook] = None) -> GoldenReport:
+    """Cross-check one optimization rung against the golden reference.
+
+    Runs the interpreted IR kernels and the NumPy reference side by side
+    over every chunk of a probe mesh, comparing each phase's output
+    arrays (see :data:`repro.cfd.reference.PHASE_OUTPUTS`) after the
+    phase executes.  Both sides start from byte-identical field data, so
+    agreement is expected to machine precision.
+    """
+    report = GoldenReport(opt=opt, vector_size=vector_size,
+                          mesh_dims=tuple(mesh_dims), rtol=rtol, atol=atol)
+    app = MiniApp(box_mesh(*mesh_dims), vector_size, opt,
+                  field_seed=field_seed)
+    ctx = app.context
+
+    # Interpreter side: globals bound by reference into each instance.
+    gdata = app.global_float_data()
+    globals_data = {**gdata, "elpos": app.elpos}
+
+    # Reference side: private copies of the float globals (both sides
+    # scatter-accumulate into their own rhsid/amatr) + gather tables.
+    ref_data: dict[str, np.ndarray] = {
+        **{name: arr.copy() for name, arr in gdata.items()},
+        "lnods": ctx.lnods, "ltype": ctx.ltype, "lmate": ctx.lmate,
+        "kfl_sgs": ctx.kfl_sgs, "elpos": app.elpos,
+    }
+    local_arrays = [a for a in ctx.arrays.values() if a.scope == "local"]
+
+    for chunk in app.chunks:
+        inst = ctx.instance_for_chunk(chunk, with_data=True,
+                                      globals_data=globals_data)
+        # fresh chunk-local scratch, mirroring the instance's zeroed data.
+        for arr in local_arrays:
+            ref_data[arr.name] = np.zeros(arr.shape)
+        interp = Interpreter(inst, ctx.params)
+        for kern in app.kernels:
+            phase = kern.phase
+            interp.run(kern)
+            if corrupt is not None:
+                corrupt(inst, phase, chunk.index)
+            REF_PHASES[phase - 1](ref_data, ctx.params, chunk.elements)
+            for name in PHASE_OUTPUTS[phase]:
+                got = np.asarray(inst.data(name), dtype=np.float64)
+                want = np.asarray(ref_data[name], dtype=np.float64)
+                diff = np.abs(got - want)
+                err = float(diff.max()) if diff.size else 0.0
+                report.max_abs_error[phase] = max(
+                    report.max_abs_error.get(phase, 0.0), err)
+                bad = ~np.isclose(got, want, rtol=rtol, atol=atol,
+                                  equal_nan=False)
+                if bad.any() and len(report.violations) < max_violations:
+                    report.violations.append(
+                        f"chunk {chunk.index} phase {phase} {name!r}: "
+                        f"{int(bad.sum())} element(s) deviate, max abs "
+                        f"error {err:.3e}")
+    return report

@@ -1,0 +1,122 @@
+"""Structural counter invariants.
+
+These are the cheap, always-on checks of the validation layer: they need
+no second simulation, only the counters themselves plus the machine
+description, and they catch the corruption modes the fault harness
+injects -- NaN/Inf poisoning, sign flips, impossible vector lengths,
+perturbed cache accounting, and FLOP drift between optimization rungs
+that must be pure performance transformations.
+
+Every check returns a list of human-readable violations; an empty list
+means the record is consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+from repro.metrics.counters import COUNTER_FIELDS, PhaseCounters, RunCounters
+
+#: relative tolerance for floating-point identity checks (vl bookkeeping,
+#: FLOP conservation across the optimization ladder).
+RTOL = 1e-9
+
+
+def vl_max_for(machine: str) -> Optional[int]:
+    """Maximum vector length of a machine, or ``None`` for scalar-only."""
+    from repro.machine.machines import get_machine
+
+    params = get_machine(machine)
+    return params.vpu.vl_max if params.vpu is not None else None
+
+
+def _close(a: float, b: float, rtol: float = RTOL) -> bool:
+    return abs(a - b) <= rtol * max(1.0, abs(a), abs(b))
+
+
+def check_phase_counters(pc: PhaseCounters,
+                         vl_max: Optional[int] = None) -> list[str]:
+    """Invariants of one phase record."""
+    out: list[str] = []
+    p = f"phase {pc.phase}"
+    for f in COUNTER_FIELDS:
+        v = getattr(pc, f)
+        if not math.isfinite(v):
+            out.append(f"{p}: {f} is non-finite ({v!r})")
+        elif v < 0:
+            out.append(f"{p}: {f} is negative ({v!r})")
+    for vl, count in pc.vl_hist.items():
+        if not math.isfinite(count) or count < 0:
+            out.append(f"{p}: vl_hist[{vl}] has invalid count {count!r}")
+        if vl < 0 or (vl_max is not None and vl > vl_max):
+            out.append(f"{p}: vl_hist key {vl} outside [0, {vl_max}]")
+    if out:
+        return out  # derived checks below assume finite inputs
+    if pc.cycles_vector > pc.cycles_total * (1 + RTOL):
+        out.append(f"{p}: vector cycles ({pc.cycles_vector}) exceed total "
+                   f"cycles ({pc.cycles_total})")
+    if pc.instr_scalar_mem > pc.instr_scalar * (1 + RTOL):
+        out.append(f"{p}: scalar memory instructions exceed scalar "
+                   f"instructions")
+    # vl bookkeeping: the histogram is the ground truth the AVL metrics
+    # are computed from, so it must agree with i_v and vl_sum exactly.
+    hist_instrs = float(sum(pc.vl_hist.values()))
+    hist_vl_sum = float(sum(vl * n for vl, n in pc.vl_hist.items()))
+    if not _close(hist_instrs, pc.i_v):
+        out.append(f"{p}: vl_hist totals {hist_instrs} instructions but "
+                   f"i_v = {pc.i_v}")
+    if not _close(hist_vl_sum, pc.vl_sum):
+        out.append(f"{p}: vl_hist implies vl_sum {hist_vl_sum} but "
+                   f"recorded vl_sum = {pc.vl_sum}")
+    if vl_max is not None and pc.i_v > 0:
+        avl = pc.vl_sum / pc.i_v
+        if avl > vl_max * (1 + RTOL):
+            out.append(f"{p}: AVL {avl:.2f} exceeds vl_max {vl_max}")
+    return out
+
+
+def check_run_counters(run: RunCounters,
+                       vl_max: Optional[int] = None) -> list[str]:
+    """Invariants of a whole-run record (all phases)."""
+    out: list[str] = []
+    for pid in run.phase_ids():
+        out.extend(check_phase_counters(run.phases[pid], vl_max=vl_max))
+    return out
+
+
+def validate_run(cfg, run: RunCounters) -> list[str]:
+    """Invariant check for one executed configuration (resolves the
+    machine's ``vl_max`` from the config)."""
+    return check_run_counters(run, vl_max=vl_max_for(cfg.machine))
+
+
+def check_flop_ladder(runs: Mapping, rtol: float = 1e-6) -> dict[str, list[str]]:
+    """FLOP conservation across the optimization ladder.
+
+    *runs* maps :class:`~repro.experiments.config.RunConfig` to its
+    :class:`RunCounters`.  Every optimization rung is a pure performance
+    transformation, so configs differing **only** in ``opt`` must
+    perform identical arithmetic: their total FLOP counts must agree.
+    Returns violations keyed by :meth:`RunConfig.key` -- every member of
+    a drifting group is flagged (the drifting rung cannot be identified
+    without a majority vote, so the whole group is suspect).
+    """
+    groups: dict[tuple, list] = {}
+    for cfg, run in runs.items():
+        ladder = (cfg.machine, cfg.vector_size, cfg.mesh_dims,
+                  cfg.cache_enabled, cfg.field_seed)
+        groups.setdefault(ladder, []).append((cfg, run))
+    out: dict[str, list[str]] = {}
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        flops = {cfg.opt: run.total_flops for cfg, run in members}
+        lo, hi = min(flops.values()), max(flops.values())
+        if hi - lo > rtol * max(1.0, abs(hi)):
+            detail = ", ".join(f"{opt}={flops[opt]:.6g}"
+                               for opt in sorted(flops))
+            msg = f"FLOP drift across optimization ladder: {detail}"
+            for cfg, _run in members:
+                out.setdefault(cfg.key(), []).append(msg)
+    return out

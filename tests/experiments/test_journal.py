@@ -1,0 +1,174 @@
+"""The sweep journal: replay semantics and end-to-end checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import TINY_MESH, RunConfig
+from repro.experiments.executor import ExecutionPlan, execute_plan, simulate_to_dict
+from repro.experiments.journal import SweepJournal, replay_journal
+from repro.faults.injector import InterruptingWorker
+
+PLAN = ExecutionPlan.ladder(mesh=TINY_MESH, vector_sizes=(16,))
+
+
+# -- replay semantics -------------------------------------------------------
+
+
+def test_missing_journal_replays_to_none(tmp_path):
+    assert replay_journal(tmp_path / "nope.journal") is None
+
+
+def test_roundtrip_folding(tmp_path):
+    path = tmp_path / "j"
+    with SweepJournal(path) as j:
+        j.record("sweep_start", plan=3)
+        j.record("done", key="a")
+        j.record("fail_attempt", key="b", attempt=1, error="boom")
+        j.record("fail_attempt", key="b", attempt=2, error="boom")
+        j.record("failed", key="c", error="dead")
+        j.record("quarantined", key="d", error="lies")
+    state = replay_journal(path)
+    assert state.interrupted  # no sweep_end
+    assert state.done == {"a"}
+    assert state.fail_attempts["b"] == 2
+    assert state.failed["c"] == "dead"
+    assert state.quarantined == {"d": "lies"}
+    assert "d" in state.failed
+
+
+def test_sweep_end_marks_segment_complete(tmp_path):
+    path = tmp_path / "j"
+    with SweepJournal(path) as j:
+        j.record("sweep_start")
+        j.record("done", key="a")
+        j.record("sweep_end")
+    assert not replay_journal(path).interrupted
+
+
+def test_only_last_segment_counts(tmp_path):
+    path = tmp_path / "j"
+    with SweepJournal(path) as j:
+        j.record("sweep_start")
+        j.record("failed", key="old", error="stale")
+        j.record("sweep_end")
+        j.record("sweep_start")
+        j.record("done", key="new")
+    state = replay_journal(path)
+    assert "old" not in state.failed
+    assert state.done == {"new"}
+
+
+def test_done_clears_an_earlier_failure(tmp_path):
+    path = tmp_path / "j"
+    with SweepJournal(path) as j:
+        j.record("sweep_start")
+        j.record("failed", key="a", error="flaky")
+        j.record("done", key="a")
+    state = replay_journal(path)
+    assert state.failed == {}
+    assert state.done == {"a"}
+
+
+def test_torn_trailing_line_is_ignored(tmp_path):
+    path = tmp_path / "j"
+    with SweepJournal(path) as j:
+        j.record("sweep_start")
+        j.record("done", key="a")
+    with open(path, "a") as fh:  # the crash hit mid-append
+        fh.write('{"ev": "done", "key": "b')
+    state = replay_journal(path)
+    assert state.done == {"a"}
+    assert state.interrupted
+
+
+def test_journal_lines_are_valid_sorted_json(tmp_path):
+    path = tmp_path / "j"
+    with SweepJournal(path) as j:
+        j.record("sweep_start", plan=2, model="4")
+        j.record("done", key="a")
+    for line in path.read_text().splitlines():
+        rec = json.loads(line)
+        assert list(rec) == sorted(rec)
+
+
+# -- end-to-end checkpoint/resume ------------------------------------------
+
+
+def test_interrupted_sweep_resumes_without_rerunning(tmp_path):
+    cache = tmp_path / "cache"
+    journal = tmp_path / "sweep.journal"
+    stop_after = 3
+
+    with pytest.raises(KeyboardInterrupt):
+        execute_plan(PLAN, cache_dir=cache, journal=journal,
+                     worker=InterruptingWorker(stop_after))
+
+    state = replay_journal(journal)
+    assert state.interrupted
+    assert len(state.done) == stop_after
+
+    events = []
+    res = execute_plan(PLAN, cache_dir=cache, journal=journal,
+                       on_event=events.append)
+    kinds = [ev.kind for ev in events]
+    # completed work is recalled, only the remainder is simulated.
+    assert kinds.count("cache_hit") == stop_after
+    assert kinds.count("done") == len(PLAN) - stop_after
+    assert not res.failed
+    assert len(res.runs) == len(PLAN)
+    # the journal's final segment is closed now.
+    assert not replay_journal(journal).interrupted
+
+
+def test_resume_carries_over_permanent_failures(tmp_path):
+    cache = tmp_path / "cache"
+    journal = tmp_path / "j"
+    bad = PLAN.configs[0].key()
+
+    def broken_worker(cfg):
+        if cfg.key() == bad:
+            raise RuntimeError("always broken")
+        return simulate_to_dict(cfg)
+
+    first = execute_plan(PLAN, cache_dir=cache, journal=journal,
+                         retries=1, worker=broken_worker)
+    assert bad in first.failed
+
+    calls = []
+
+    def counting_worker(cfg):
+        calls.append(cfg.key())
+        return simulate_to_dict(cfg)
+
+    second = execute_plan(PLAN, cache_dir=cache, journal=journal,
+                          retries=1, worker=counting_worker)
+    # the journalled verdict stands: no retry budget is re-granted.
+    assert bad in second.failed
+    assert "journalled sweep" in second.failed[bad]
+    assert calls == []
+    assert len(second.runs) == len(PLAN) - 1
+
+
+def test_resume_honours_consumed_retry_budget(tmp_path):
+    cache = tmp_path / "cache"
+    journal = tmp_path / "j"
+    flaky = PLAN.configs[0].key()
+
+    def crash_then_interrupt(cfg):
+        # one failed attempt on the flaky config, then the sweep dies.
+        if cfg.key() == flaky:
+            raise RuntimeError("flaky")
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        execute_plan(PLAN, cache_dir=cache, journal=journal, retries=2,
+                     worker=crash_then_interrupt)
+    assert replay_journal(journal).fail_attempts[flaky] == 1
+
+    events = []
+    execute_plan(PLAN, cache_dir=cache, journal=journal, retries=2,
+                 on_event=events.append)
+    start = next(ev for ev in events
+                 if ev.kind == "start" and ev.key == flaky)
+    assert start.attempt == 2  # resumed mid-budget, not reset to 1

@@ -1,0 +1,63 @@
+"""Seeded fault plans: determinism and strike-point selection."""
+
+import pytest
+
+from repro.faults.plan import WORKER_FAULT_KINDS, FaultPlan, FaultSpec
+
+KEYS = [f"cfg-{i}" for i in range(9)]
+
+
+def test_same_seed_same_plan():
+    assert FaultPlan.generate(0, KEYS) == FaultPlan.generate(0, KEYS)
+    assert FaultPlan.generate(42, KEYS) == FaultPlan.generate(42, KEYS)
+
+
+def test_different_seeds_differ():
+    plans = {FaultPlan.generate(s, KEYS).specs for s in range(8)}
+    assert len(plans) > 1
+
+
+def test_one_spec_per_kind():
+    plan = FaultPlan.generate(0, KEYS)
+    assert sorted(s.kind for s in plan.specs) == sorted(WORKER_FAULT_KINDS)
+    for kind in WORKER_FAULT_KINDS:
+        assert plan.spec_for(kind).kind == kind
+
+
+def test_targets_drawn_from_keys():
+    plan = FaultPlan.generate(3, KEYS)
+    for spec in plan.specs:
+        assert spec.target_key in KEYS
+
+
+def test_torn_cache_tears_an_earlier_entry():
+    plan = FaultPlan.generate(0, KEYS)
+    spec = plan.spec_for("torn_cache")
+    # strikes on the last run so earlier entries exist on disk to tear.
+    assert spec.target_key == KEYS[-1]
+    assert spec.victim_key in KEYS[:-1]
+    assert spec.victim_key != spec.target_key
+
+
+def test_empty_sweep_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan.generate(0, [])
+
+
+def test_spec_for_unknown_kind():
+    with pytest.raises(KeyError):
+        FaultPlan.generate(0, KEYS).spec_for("gamma_ray")
+
+
+def test_to_dict_roundtrip_shape():
+    plan = FaultPlan.generate(5, KEYS)
+    d = plan.to_dict()
+    assert d["seed"] == 5
+    assert len(d["specs"]) == len(WORKER_FAULT_KINDS)
+    assert all({"kind", "target_key", "victim_key"} <= set(s) for s in d["specs"])
+
+
+def test_spec_is_frozen():
+    spec = FaultSpec(kind="crash", target_key="k")
+    with pytest.raises(AttributeError):
+        spec.kind = "hang"
