@@ -12,7 +12,13 @@ The package simulates the paper's entire stack in Python:
   (mesh, elements, the eight instrumented phases, CSR + Krylov solver);
 * :mod:`repro.metrics` -- the paper's §2.2 metrics and Table-6
   regression;
-* :mod:`repro.trace` -- Extrae/Vehave/Paraver-style tracing;
+* :mod:`repro.obs` -- the observability spine: one ambient tracer
+  through every layer (machine phase spans on the cycle clock, emulator
+  instruction streams, executor progress), with Paraver / Chrome
+  ``trace_event`` exporters, terminal renderers, and the per-phase
+  cycle regression gate behind ``repro bench --baseline``;
+* :mod:`repro.trace` -- Extrae/Vehave/Paraver-style trace files and
+  analysis (the exporter side of :mod:`repro.obs`);
 * :mod:`repro.experiments` -- the harness regenerating every table and
   figure of the evaluation;
 * :mod:`repro.validation` -- counter invariants + golden-reference
@@ -39,8 +45,9 @@ or, one level lower::
     print(counters.total_cycles)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
+from repro import obs
 from repro.cfd.assembly import MiniApp
 from repro.cfd.mesh import box_mesh
 from repro.experiments.config import RunConfig
@@ -58,4 +65,5 @@ __all__ = [
     "box_mesh",
     "execute_plan",
     "get_machine",
+    "obs",
 ]

@@ -128,12 +128,18 @@ class MiniApp:
         Returns the per-phase counters accumulated over every chunk of
         the mesh (one full assembly sweep).
         """
+        from repro.obs.tracer import span as _obs_span
+
         m = machine or Machine(machine_params, cache_enabled=cache_enabled)
         run = RunCounters()
         globals_data = {"elpos": self.elpos}
-        for chunk in self.chunks:
-            inst = self.context.instance_for_chunk(chunk, globals_data=globals_data)
-            m.execute_program(self.compiled, inst, run)
+        with _obs_span(f"run_timed {self.opt} vs{self.vector_size}",
+                       cat="run", opt=self.opt,
+                       vector_size=self.vector_size):
+            for chunk in self.chunks:
+                inst = self.context.instance_for_chunk(
+                    chunk, globals_data=globals_data)
+                m.execute_program(self.compiled, inst, run)
         return run
 
     def run_numeric(self, field_overrides: Optional[dict[str, np.ndarray]] = None

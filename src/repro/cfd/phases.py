@@ -692,6 +692,20 @@ def phase8(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
 #: phase builders in execution order.
 PHASE_BUILDERS = (phase1, phase2, phase3, phase4, phase5, phase6, phase7, phase8)
 
+#: human-readable phase names, used by the observability layer (span
+#: labels, Paraver .pcf states, summary sections) -- the paper's Table-3
+#: row captions.
+PHASE_NAMES: dict[int, str] = {
+    1: "gather element data",
+    2: "gather nodal unknowns",
+    3: "jacobian + cartesian derivatives",
+    4: "gauss-point fields",
+    5: "stabilization + accumulator init",
+    6: "convective + VMS (dominant)",
+    7: "viscous term",
+    8: "valid-element check + scatter",
+}
+
 
 def build_kernels(arrays: dict[str, Array], cfg: KernelConfig) -> list[Kernel]:
     """All eight phase kernels for one configuration."""

@@ -7,10 +7,14 @@ command per artifact or workflow:
 * ``table N`` / ``figure N``    -- regenerate one paper artifact;
 * ``sweep``                     -- the Figure-11 speed-up ladder;
 * ``bench``                     -- time the sweep executor, write BENCH_report.json;
+  with ``--baseline PATH`` it also gates the fresh per-phase cycle
+  counts against a committed report and exits non-zero on a breach;
 * ``remarks``                   -- the compiler's vectorization remarks;
 * ``advise``                    -- the co-design advisor's findings;
 * ``codesign``                  -- run the full iterative loop;
-* ``trace``                     -- run with the tracer, export Paraver text;
+* ``trace``                     -- run under the observability tracer;
+  exports Paraver text (``.prv`` + ``.pcf``/``.row``) and, with
+  ``--out``, a Chrome ``trace_event`` JSON for ``chrome://tracing``;
 * ``chaos``                     -- seeded fault-injection campaign + report.
 
 Sweep-shaped commands (``table`` / ``figure`` / ``sweep`` / ``report`` /
@@ -83,7 +87,8 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 def _run_config(args) -> RunConfig:
     """The one RunConfig a single-run command describes."""
     return RunConfig.from_kwargs(mesh=args.mesh, machine=args.machine,
-                                 opt=args.opt, vs=args.vs)
+                                 opt=args.opt, vs=args.vs,
+                                 field_seed=getattr(args, "seed", 0))
 
 
 def _jobs(args) -> int:
@@ -159,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="smoke = 3 runs, standard = the full ~50-run sweep")
     p.add_argument("-o", "--output", default="BENCH_report.json",
                    help="benchmark report path (JSON)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="gate the fresh per-phase cycle counts against "
+                        "this committed bench report; exit 1 on any "
+                        "phase drifting past --threshold")
+    p.add_argument("--threshold", type=float, default=None, metavar="FRAC",
+                   help="relative per-phase tolerance for --baseline "
+                        "(default 0.10 = 10%%)")
 
     p = sub.add_parser("remarks", help="compiler vectorization remarks")
     _add_common(p)
@@ -169,9 +181,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("codesign", help="run the iterative co-design loop")
     _add_common(p)
 
-    p = sub.add_parser("trace", help="run traced, export Paraver-like text")
+    p = sub.add_parser("trace", help="run under the observability tracer; "
+                                     "export Paraver text and Chrome JSON")
     _add_common(p)
-    p.add_argument("-o", "--output", default="miniapp.prv")
+    p.add_argument("--preset", choices=("tiny", "quick", "full"),
+                   default=None,
+                   help="mesh preset shorthand; overrides --mesh")
+    p.add_argument("--seed", type=int, default=0,
+                   help="field seed for the traced run (default 0)")
+    p.add_argument("-o", "--output", default="miniapp.prv",
+                   help="Paraver trace path (.pcf/.row written alongside)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also export a Chrome trace_event JSON "
+                        "(open in chrome://tracing or Perfetto)")
 
     p = sub.add_parser("roofline", help="per-phase roofline analysis")
     _add_common(p)
@@ -227,6 +249,7 @@ def _cmd_bench(args) -> int:
     from pathlib import Path
 
     from repro.experiments.executor import ExecutionPlan, execute_plan
+    from repro.obs import gate
 
     jobs = _jobs(args)
     dims = _mesh_dims(args.mesh)
@@ -262,6 +285,8 @@ def _cmd_bench(args) -> int:
         "retries": parallel_res.stats.retries,
         "failures": parallel_res.stats.failures,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        # per-phase cycle counts: what --baseline gates a future PR on.
+        "phase_cycles": gate.phase_cycles_payload(serial_res.runs),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     rows = [["", "wall-clock [s]", "simulated", "cache hits"],
@@ -275,6 +300,26 @@ def _cmd_bench(args) -> int:
     print(report.format_table(rows))
     print(f"\nspeedup (serial/parallel): {payload['speedup']}x"
           f" -- report written to {args.output}")
+
+    if args.baseline:
+        threshold = (gate.DEFAULT_THRESHOLD if args.threshold is None
+                     else args.threshold)
+        try:
+            breaches = gate.check_report(payload, args.baseline,
+                                         threshold=threshold)
+        except ValueError as exc:
+            print(f"[bench] unusable baseline: {exc}",
+                  file=sys.stderr, flush=True)
+            return 2
+        gated = len(set(payload["phase_cycles"]))
+        if breaches:
+            print(f"\nFAIL: {len(breaches)} phase cycle count(s) drifted "
+                  f"past {threshold:.0%} vs {args.baseline}:")
+            for b in breaches:
+                print(f"  {b.describe()}")
+            return 1
+        print(f"\ngate: {gated} run(s) within {threshold:.0%} "
+              f"of {args.baseline}")
     return 0
 
 
@@ -346,15 +391,26 @@ def _cmd_codesign(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.machine.cpu import Machine
+    from repro import obs
     from repro.machine.machines import get_machine
-    from repro.trace import Tracer, paraver, phase_stats
+    from repro.obs import chrome, render
+    from repro.trace import paraver, phase_stats
 
+    if args.preset:
+        args.mesh = args.preset
     app = _make_app(args)
-    tracer = Tracer()
-    machine = Machine(get_machine(args.machine), tracer=tracer)
-    app.run_timed(get_machine(args.machine), machine=machine)
-    paraver.dump(tracer, args.output)
+    tracer = obs.Tracer()
+    with obs.use(tracer):
+        app.run_timed(get_machine(args.machine))
+    paraver.dump(tracer, args.output, with_config=True)
+    written = [str(args.output)]
+    if args.out:
+        chrome.dump(tracer, args.out,
+                    meta={"mesh": args.mesh, "machine": args.machine,
+                          "opt": args.opt, "vector_size": args.vs,
+                          "field_seed": args.seed})
+        written.append(str(args.out))
+
     stats = phase_stats(tracer)
     rows = [["phase", "cycles", "vector instrs", "AVL"]]
     for p in sorted(stats):
@@ -362,7 +418,14 @@ def _cmd_trace(args) -> int:
         rows.append([str(p), f"{s.cycles:,.0f}", f"{s.vector_instrs:,.0f}",
                      f"{s.avl:.0f}"])
     print(report.format_table(rows))
-    print(f"\ntrace written to {args.output}")
+    print()
+    print(render.render_timeline(tracer))
+    hist = tracer.vl_histogram()
+    if hist:
+        print()
+        print(render.render_vl_hist(
+            hist, f"granted-vl histogram ({args.opt} vs{args.vs})", top=8))
+    print(f"\ntrace written to {', '.join(written)}")
     return 0
 
 

@@ -139,11 +139,16 @@ class Interpreter:
             raise TypeError(f"cannot execute {stmt!r}")
 
     def run(self, kernel: Kernel) -> None:
+        from repro.obs.tracer import span as _obs_span
+
         merged = {**kernel.param_dict(), **self.params}
         self.params = merged
         env: dict[str, int] = {}
-        for s in kernel.body:
-            self.exec_stmt(s, env)
+        # IR-block span: interpretation is wall-clock work, so kernel
+        # spans land on the harness timeline (no-op when tracing is off).
+        with _obs_span(kernel.name, cat="ir", phase=kernel.phase):
+            for s in kernel.body:
+                self.exec_stmt(s, env)
 
 
 def run_kernel(kernel: Kernel, instance: KernelInstance,

@@ -64,6 +64,7 @@ from repro.metrics.counters import (
     counters_from_dict,
     counters_to_dict,
 )
+from repro.obs.tracer import active as _obs_active
 
 #: bump when the timing model OR the cache payload schema changes so
 #: stale disk caches are ignored (see EXPERIMENTS.md, "cache versioning").
@@ -162,6 +163,11 @@ class RunEvent:
     ``kind`` is one of ``cache_hit``, ``start``, ``done``, ``retry``,
     ``timeout``, ``failed``, ``invalid`` (validation verdict rejected a
     payload), ``quarantined`` (repeated validation failure).
+
+    Every event also carries a live utilization snapshot -- ``queued``
+    (configs still waiting for a worker) and the running cache
+    hit/miss tallies -- so a ``--jobs`` sweep's progress stream shows
+    throughput and cache effectiveness, not just completions.
     """
 
     kind: str
@@ -169,6 +175,12 @@ class RunEvent:
     attempt: int = 1
     wall_s: float = 0.0
     error: str = ""
+    #: configs still queued (excludes in-flight pool work).
+    queued: int = 0
+    #: runs recalled from the disk cache so far.
+    cache_hits: int = 0
+    #: runs simulated from scratch so far (cache misses that completed).
+    cache_misses: int = 0
 
 
 #: progress callback signature.
@@ -421,6 +433,7 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
 
     result = ExecutionResult()
     t_start = time.monotonic()
+    tracer = _obs_active()
 
     jstate = replay_journal(journal) if journal is not None else None
     jwriter = SweepJournal(journal) if journal is not None else None
@@ -432,15 +445,26 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
         if jwriter is not None:
             jwriter.record(ev, **fields)
 
+    #: work queue, entries: (cfg, attempt, ready_at) -- declared before
+    #: ``emit`` so every event can snapshot the live queue depth.
+    todo: deque = deque()
+
     def emit(kind: str, key: str, attempt: int = 1, wall_s: float = 0.0,
              error: str = "") -> None:
         """Deliver one progress event; a crashing callback is an
         observability problem, never a reason to abort the sweep."""
+        if tracer is not None:
+            tracer.event(kind, cat="executor", key=key, attempt=attempt,
+                         error=error)
+            tracer.counter("queue depth", len(todo))
         if on_event is None:
             return
         try:
             on_event(RunEvent(kind=kind, key=key, attempt=attempt,
-                              wall_s=wall_s, error=error))
+                              wall_s=wall_s, error=error,
+                              queued=len(todo),
+                              cache_hits=result.stats.cache_hits,
+                              cache_misses=result.stats.simulated))
         except Exception as exc:
             print(f"[repro] progress callback failed on {kind} {key}: "
                   f"{exc!r}", file=sys.stderr, flush=True)
@@ -452,8 +476,11 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
     def check_payload(cfg: RunConfig, counters: RunCounters) -> list[str]:
         return validate_run(cfg, counters) if validate else []
 
+    if tracer is not None:
+        tracer.event("sweep start", cat="executor", configs=len(configs),
+                     jobs=jobs)
+
     # -- partition: cache hits, journalled failures, remaining work --------
-    todo: deque = deque()  # entries: (cfg, attempt, ready_at)
     for cfg in configs:
         key = cfg.key()
         cached = load_cached(cache_dir, cfg) if use_disk else None
@@ -568,7 +595,12 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
     try:
         if todo:
             if jobs <= 1:
+                # in-process: the ambient tracer (if any) observes the
+                # simulated machines directly through contextvar pickup.
                 _run_serial(todo, worker, emit, record, handle_failure, result)
+            elif tracer is not None:
+                _run_pool_traced(tracer, todo, worker, jobs, timeout_s,
+                                 emit, record, handle_failure, result)
             else:
                 _run_pool(todo, worker, jobs, timeout_s,
                           emit, record, handle_failure, result)
@@ -591,6 +623,11 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
                     store_payload(cache_dir, cfg_by_key[key], payload)
 
         jrecord("sweep_end")
+        if tracer is not None:
+            tracer.event("sweep end", cat="executor",
+                         simulated=result.stats.simulated,
+                         cache_hits=result.stats.cache_hits,
+                         failures=result.stats.failures)
     finally:
         if jwriter is not None:
             jwriter.close()
@@ -622,6 +659,44 @@ def _run_serial(queue: deque, worker: Worker,
             handle_failure(cfg, attempt, repr(exc), queue)
         else:
             record(cfg, payload, attempt, time.monotonic() - t0, queue)
+
+
+def _run_pool_traced(tracer, queue: deque, worker: Worker, jobs: int,
+                     timeout_s: Optional[float],
+                     emit, record, handle_failure,
+                     result: ExecutionResult) -> None:
+    """Pool execution with cross-process trace capture.
+
+    The pool's workers cannot see the coordinator's contextvar-scoped
+    tracer, so each worker writes a per-run Chrome trace file into a
+    temporary directory (announced via ``REPRO_TRACE_DIR``, picked up by
+    :class:`repro.obs.workers.TracedWorker`); the files are merged back
+    into *tracer* once the pool drains.  Trace capture must never change
+    sweep outcomes: payloads pass through the wrapper untouched and a
+    lost trace file is silently skipped at merge time.
+    """
+    import shutil
+
+    from repro.obs.workers import (
+        TRACE_DIR_ENV,
+        TracedWorker,
+        merge_worker_traces,
+    )
+
+    trace_dir = tempfile.mkdtemp(prefix="repro-obs-")
+    previous = os.environ.get(TRACE_DIR_ENV)
+    os.environ[TRACE_DIR_ENV] = trace_dir
+    try:
+        _run_pool(queue, TracedWorker(worker), jobs, timeout_s,
+                  emit, record, handle_failure, result)
+    finally:
+        if previous is None:
+            os.environ.pop(TRACE_DIR_ENV, None)
+        else:  # pragma: no cover - nested tracing sessions
+            os.environ[TRACE_DIR_ENV] = previous
+        merged = merge_worker_traces(tracer, trace_dir)
+        tracer.event("worker traces merged", cat="executor", files=merged)
+        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 def _run_pool(queue: deque, worker: Worker, jobs: int,

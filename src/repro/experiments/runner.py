@@ -114,8 +114,10 @@ class Session:
     def _log_event(self, ev: RunEvent) -> None:  # pragma: no cover - console
         detail = f" attempt {ev.attempt}" if ev.attempt > 1 else ""
         suffix = f" ({ev.error})" if ev.error else ""
-        print(f"[repro] {ev.kind} {ev.key}{detail}{suffix}", file=sys.stderr,
-              flush=True)
+        util = (f" [queued {ev.queued}, hits {ev.cache_hits}, "
+                f"misses {ev.cache_misses}]")
+        print(f"[repro] {ev.kind} {ev.key}{detail}{suffix}{util}",
+              file=sys.stderr, flush=True)
 
     def run(self, machine: str | RunConfig = "riscv_vec", opt: str = "vanilla",
             vector_size: int = 240, cache_enabled: bool = True,

@@ -56,6 +56,37 @@ def render_artifact(name: str, session: Session) -> str:
     raise KeyError(f"unknown artifact {name!r}")
 
 
+def vl_histogram_section(session: Session, machine: str = "riscv_vec",
+                         opt: str = "vec1", vector_size: int = 240) -> str:
+    """Per-phase granted-vl (AVL) distributions for one configuration.
+
+    Rendered from the per-phase ``vl_hist`` counters every run already
+    records, so a warm cache answers instantly.  With ``vector_size``
+    a multiple of 40 every bar lands on a Vitruvius fast length; re-run
+    with e.g. ``--vs 250`` to watch the mod-40 fraction collapse.
+    """
+    from repro.obs.render import mod40_fraction, render_vl_hist
+
+    run = session.run(machine=machine, opt=opt, vector_size=vector_size)
+    lines = [f"granted-vl histograms: {machine}, {opt}, "
+             f"VECTOR_SIZE = {vector_size}"]
+    whole: dict[int, float] = {}
+    for pid in run.phase_ids():
+        hist = dict(run.phases[pid].vl_hist)
+        if not hist:
+            continue
+        for vl, count in hist.items():
+            whole[vl] = whole.get(vl, 0) + count
+        lines.append(render_vl_hist(hist, title=f"phase {pid}", width=30))
+    if not whole:
+        lines.append("(no vector instructions)")
+    else:
+        lines.append(
+            f"whole run: {100 * mod40_fraction(whole):.0f}% of dynamic "
+            f"vector instructions at vl % 40 == 0 (Vitruvius fast lengths)")
+    return "\n".join(lines)
+
+
 def evaluation_report(session: Session) -> str:
     """The complete evaluation section as one text document.
 
@@ -79,6 +110,11 @@ def evaluation_report(session: Session) -> str:
         lines.append("=" * 72)
         lines.append(render_artifact(name, session))
         lines.append("")
+    lines.append("=" * 72)
+    lines.append("Observability: AVL distribution per phase (vec1, vs 240)")
+    lines.append("=" * 72)
+    lines.append(vl_histogram_section(session))
+    lines.append("")
     # headline summary
     f11 = F.figure11(session)
     best = max(f11.series["vec1"])

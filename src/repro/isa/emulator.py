@@ -114,7 +114,9 @@ class VectorEmulator:
     """Functional execution of vector programs (element indices address
     the flat double-precision memory)."""
 
-    def __init__(self, vl_max: int, mem_size: int = 4096):
+    def __init__(self, vl_max: int, mem_size: int = 4096, tracer=None):
+        from repro.obs.tracer import active as _obs_active
+
         if vl_max <= 0:
             raise ValueError("vl_max must be positive")
         self.vl_max = vl_max
@@ -123,6 +125,11 @@ class VectorEmulator:
         self.sregs: dict[str, float] = {}
         self.vl = 0
         self.trace: list[ExecutedRecord] = []
+        #: observability hook: every executed instruction is streamed to
+        #: the tracer with its opcode, granted vl and lane occupancy --
+        #: the Vehave-grade per-instruction view.  ``None`` (no explicit
+        #: tracer, no ambient one) keeps the step loop entirely free.
+        self.tracer = tracer if tracer is not None else _obs_active()
 
     # -- register access ---------------------------------------------------
 
@@ -171,6 +178,8 @@ class VectorEmulator:
             if instr.dst is not None:
                 self.sregs[instr.dst] = float(self.vl)
             self.trace.append(ExecutedRecord(op, self.vl))
+            if self.tracer is not None:
+                self.tracer.instr(op, self.vl, self.vl_max)
             return
 
         vl = self.vl
@@ -234,6 +243,8 @@ class VectorEmulator:
             raise ValueError(f"unhandled opcode {op!r}")
         # tail elements (>= vl) stay undisturbed, per RVV semantics.
         self.trace.append(ExecutedRecord(op, vl))
+        if self.tracer is not None:
+            self.tracer.instr(op, vl, self.vl_max)
 
     # -- validation ------------------------------------------------------------
 

@@ -1,0 +1,92 @@
+"""Cross-process trace capture for the sweep executor.
+
+A process pool breaks the contextvar scoping: workers run in their own
+interpreters, so the coordinator's tracer never sees what happened
+inside a simulation.  The bridge is file-based, like Extrae's per-rank
+``.mpit`` files:
+
+* the coordinator exports ``REPRO_TRACE_DIR`` before spawning workers;
+* :class:`TracedWorker` wraps the pool's worker callable -- inside the
+  worker it installs a fresh ambient tracer (which the simulated
+  :class:`~repro.machine.cpu.Machine` picks up), runs the simulation,
+  and dumps one Chrome-format trace file per run into the directory;
+* after the pool drains, :func:`merge_worker_traces` ingests every
+  per-worker file back into the coordinator's tracer, rewriting pids so
+  each worker process gets its own row group in ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro.obs import chrome
+from repro.obs.tracer import Tracer, use
+
+#: environment variable carrying the per-worker trace directory.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: worker pids are remapped to this base + (order of first appearance),
+#: keeping coordinator pids 1/2 (see repro.obs.chrome) distinct.
+WORKER_PID_BASE = 100
+
+
+class TracedWorker:
+    """Picklable wrapper adding per-run trace capture to a worker.
+
+    Transparent when ``REPRO_TRACE_DIR`` is unset: the wrapped worker is
+    called directly and no tracer is installed, so payloads stay
+    byte-identical to an untraced sweep.
+    """
+
+    def __init__(self, worker: Callable):
+        self.worker = worker
+
+    def __call__(self, cfg):
+        trace_dir = os.environ.get(TRACE_DIR_ENV)
+        if not trace_dir:
+            return self.worker(cfg)
+        tracer = Tracer()
+        with use(tracer):
+            with tracer.span(f"run {cfg.key()}", cat="run"):
+                payload = self.worker(cfg)
+        chrome.dump(tracer, trace_path(trace_dir, cfg.key()),
+                    include_wall=True,
+                    meta={"worker_pid": os.getpid(), "key": cfg.key()})
+        return payload
+
+
+def trace_path(trace_dir: str | os.PathLike, key: str) -> Path:
+    """Per-run trace file location (pid-stamped: retries don't collide)."""
+    return Path(trace_dir) / f"worker-{os.getpid()}-{key}.json"
+
+
+def merge_worker_traces(tracer: Tracer, trace_dir: str | os.PathLike) -> int:
+    """Ingest every per-worker trace file into *tracer*.
+
+    Worker pids are remapped to stable small ids in filename order so
+    merged traces are deterministic for a given sweep layout.  Returns
+    the number of files merged; unreadable files are skipped (a lost
+    trace must never fail the sweep that produced it).
+    """
+    merged = 0
+    next_pid = WORKER_PID_BASE
+    for path in sorted(Path(trace_dir).glob("worker-*.json")):
+        try:
+            events = chrome.load(path)
+        except (OSError, ValueError):
+            continue
+        # fresh map per file: every run file keeps its own row group,
+        # even though each worker wrote pid 1/2 locally.
+        pid_map: dict[int, int] = {}
+        for ev in events:
+            pid = ev.get("pid")
+            if isinstance(pid, int):
+                if pid not in pid_map:
+                    pid_map[pid] = next_pid
+                    next_pid += 1
+                ev = {**ev, "pid": pid_map[pid]}
+            tracer.raw_events.append(ev)
+        merged += 1
+    return merged

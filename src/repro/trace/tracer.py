@@ -1,56 +1,17 @@
-"""Extrae-like execution tracer.
+"""Extrae-like execution tracer (absorbed into :mod:`repro.obs`).
 
-A :class:`Tracer` attaches to a :class:`repro.machine.cpu.Machine` and
-records every executed block as a timed :class:`BlockEvent`, plus every
-vector instruction batch as a :class:`VectorInstrEvent` (the Vehave
-view).  The trace can then be exported to the Paraver-like text format
-(:mod:`repro.trace.paraver`) or analyzed directly
-(:mod:`repro.trace.analysis`); the analysis results are checked against
-the hardware counters in the test suite, the same cross-validation the
-paper's authors rely on when combining Extrae and Vehave data.
+The seed block/vector-instruction tracer grew into the unified
+observability spine: :class:`repro.obs.tracer.Tracer` carries the
+original machine-hook interface (``on_block`` / ``on_vector_instrs``,
+the ``blocks`` / ``vector_instrs`` event lists consumed by
+:mod:`repro.trace.paraver` and :mod:`repro.trace.analysis`) *plus* the
+span/event/counter API, contextvar scoping, and the Vehave-grade
+per-instruction stream.  This module re-exports it so existing imports
+(``from repro.trace import Tracer``) keep working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.tracer import Tracer
 
-from repro.trace.events import BlockEvent, VectorInstrEvent
-
-
-@dataclass
-class Tracer:
-    """Collects block and vector-instruction events."""
-
-    blocks: list[BlockEvent] = field(default_factory=list)
-    vector_instrs: list[VectorInstrEvent] = field(default_factory=list)
-    enabled: bool = True
-
-    # -- Machine hook interface ------------------------------------------
-
-    def on_block(self, phase: int, label: str, kind: str,
-                 t_start: float, cycles: float) -> None:
-        if self.enabled:
-            self.blocks.append(BlockEvent(phase, label, kind, t_start, cycles))
-
-    def on_vector_instrs(self, phase: int, t: float,
-                         records: list[tuple[str, int, int]]) -> None:
-        """records: (opcode, vl, dynamic count) batches."""
-        if not self.enabled:
-            return
-        for opcode, vl, count in records:
-            self.vector_instrs.append(VectorInstrEvent(phase, opcode, vl, count, t))
-
-    # -- views ---------------------------------------------------------------
-
-    def phases(self) -> list[int]:
-        return sorted({b.phase for b in self.blocks})
-
-    def phase_cycles(self, phase: int) -> float:
-        return sum(b.cycles for b in self.blocks if b.phase == phase)
-
-    def total_cycles(self) -> float:
-        return sum(b.cycles for b in self.blocks)
-
-    def clear(self) -> None:
-        self.blocks.clear()
-        self.vector_instrs.clear()
+__all__ = ["Tracer"]

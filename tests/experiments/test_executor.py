@@ -99,6 +99,24 @@ def test_cache_hit_short_circuits_simulation(tmp_path):
             first.counters_for(cfg).total_cycles)
 
 
+def test_events_carry_queue_depth_and_cache_tallies(tmp_path):
+    """Every RunEvent snapshots live executor utilization."""
+    plan = ExecutionPlan.from_configs(tiny_configs(3))
+    events = []
+    execute_plan(plan, cache_dir=tmp_path, jobs=1, on_event=events.append)
+    done = [e for e in events if e.kind == "done"]
+    assert len(done) == 3
+    # queue drains monotonically; the last completion leaves it empty.
+    depths = [e.queued for e in done]
+    assert depths == sorted(depths, reverse=True) and depths[-1] == 0
+    assert done[-1].cache_misses == 3 and done[-1].cache_hits == 0
+
+    events2 = []
+    execute_plan(plan, cache_dir=tmp_path, jobs=1, on_event=events2.append)
+    hits = [e for e in events2 if e.kind == "cache_hit"]
+    assert hits[-1].cache_hits == 3 and hits[-1].cache_misses == 0
+
+
 def test_corrupted_cache_entry_discarded_and_resimulated(tmp_path):
     [cfg] = tiny_configs(1)
     execute_plan([cfg], cache_dir=tmp_path, jobs=1)

@@ -1,0 +1,119 @@
+"""Tests for the per-phase cycle regression gate (repro bench --baseline)."""
+
+import json
+
+import pytest
+
+from repro.obs import gate
+from repro.metrics.counters import RunCounters
+
+
+def _run(cycles_by_phase):
+    run = RunCounters()
+    for pid, cyc in cycles_by_phase.items():
+        run.phase(pid).cycles_total = cyc
+    return run
+
+
+def _payload(phase_cycles, mesh=(4, 4, 4)):
+    return {"mesh": list(mesh), "phase_cycles": phase_cycles}
+
+
+def test_phase_cycles_payload_shape():
+    runs = {"b-key": _run({1: 10.0, 6: 99.5}), "a-key": _run({2: 3.0})}
+    payload = gate.phase_cycles_payload(runs)
+    assert list(payload) == ["a-key", "b-key"]  # sorted, JSON-stable
+    assert payload["b-key"] == {"1": 10.0, "6": 99.5}
+
+
+def test_identical_reports_pass():
+    pc = {"k": {"1": 100.0, "6": 2000.0}}
+    assert gate.compare_phase_cycles(pc, pc) == []
+
+
+def test_drift_within_threshold_passes():
+    cur = {"k": {"6": 1090.0}}
+    base = {"k": {"6": 1000.0}}
+    assert gate.compare_phase_cycles(cur, base, threshold=0.10) == []
+
+
+def test_injected_regression_breaches():
+    cur = {"k": {"1": 100.0, "6": 1150.0}}
+    base = {"k": {"1": 100.0, "6": 1000.0}}
+    (b,) = gate.compare_phase_cycles(cur, base, threshold=0.10)
+    assert b.phase == 6 and b.ratio == pytest.approx(1.15)
+    assert "regression" in b.describe()
+
+
+def test_speedup_past_threshold_also_flags():
+    # the gate is two-sided: an unexplained speed-up is a model change too.
+    cur = {"k": {"6": 800.0}}
+    base = {"k": {"6": 1000.0}}
+    (b,) = gate.compare_phase_cycles(cur, base)
+    assert "speed-up" in b.describe()
+
+
+def test_phase_appearing_or_vanishing_is_a_breach():
+    cur = {"k": {"1": 100.0, "9": 5.0}}
+    base = {"k": {"1": 100.0, "2": 50.0}}
+    breaches = gate.compare_phase_cycles(cur, base)
+    assert {b.phase for b in breaches} == {2, 9}
+
+
+def test_only_common_keys_compared():
+    cur = {"k1": {"1": 100.0}}
+    base = {"k1": {"1": 100.0}, "k2": {"1": 999.0}}
+    assert gate.compare_phase_cycles(cur, base) == []
+
+
+def test_check_report_happy_path(tmp_path):
+    pc = {"k": {"1": 100.0}}
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps(_payload(pc)))
+    assert gate.check_report(_payload(pc), path) == []
+
+
+def test_check_report_missing_baseline(tmp_path):
+    with pytest.raises(ValueError, match="does not exist"):
+        gate.check_report(_payload({}), tmp_path / "nope.json")
+
+
+def test_check_report_malformed_baseline(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        gate.check_report(_payload({}), path)
+
+
+def test_check_report_without_phase_cycles_section(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"mesh": [4, 4, 4], "serial_s": 1.0}))
+    with pytest.raises(ValueError, match="phase_cycles"):
+        gate.check_report(_payload({}), path)
+
+
+def test_check_report_mesh_mismatch(tmp_path):
+    pc = {"k": {"1": 1.0}}
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps(_payload(pc, mesh=(8, 8, 15))))
+    with pytest.raises(ValueError, match="mesh"):
+        gate.check_report(_payload(pc), path)
+
+
+def test_check_report_no_common_keys(tmp_path):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps(_payload({"other": {"1": 1.0}})))
+    with pytest.raises(ValueError, match="no run keys"):
+        gate.check_report(_payload({"mine": {"1": 1.0}}), path)
+
+
+def test_committed_baseline_is_current(repo_root=None):
+    """The checked-in BENCH_report.json must carry the gate section."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "BENCH_report.json"
+    doc = json.loads(path.read_text())
+    assert doc["mesh"] == [4, 4, 4] and doc["profile"] == "smoke"
+    assert doc["phase_cycles"]
+    for key, phases in doc["phase_cycles"].items():
+        assert set(phases) == {str(p) for p in range(1, 9)}, key

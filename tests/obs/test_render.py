@@ -1,0 +1,53 @@
+"""Tests for the terminal trace renderers."""
+
+from repro.obs.render import (
+    mod40_fraction,
+    render_phase_vl_hists,
+    render_timeline,
+    render_vl_hist,
+)
+from repro.obs.tracer import Tracer
+
+
+def _tracer():
+    t = Tracer()
+    t.on_block(1, "b1", "scalar", 0.0, 100.0)
+    t.on_block(6, "b6", "vector", 100.0, 900.0)
+    return t
+
+
+def test_timeline_shows_dominant_phase():
+    out = render_timeline(_tracer(), buckets=10)
+    assert "|" in out and "6" in out
+    assert "1,000 cycles" in out
+
+
+def test_timeline_empty():
+    assert render_timeline(Tracer()) == "(empty trace)"
+
+
+def test_mod40_fraction():
+    assert mod40_fraction({}) == 0.0
+    assert mod40_fraction({240: 3, 7: 1}) == 0.75
+    assert mod40_fraction({40: 1, 80: 1}) == 1.0
+
+
+def test_vl_hist_marks_multiples_of_40():
+    out = render_vl_hist({240: 10, 13: 2}, title="h")
+    lines = out.splitlines()
+    assert any("vl  240" in ln and ln.rstrip().endswith("*") for ln in lines)
+    assert any("vl   13" in ln and not ln.rstrip().endswith("*")
+               for ln in lines)
+    assert "Vitruvius" in out
+
+
+def test_vl_hist_empty_and_top_filter():
+    assert "(no vector instructions)" in render_vl_hist({})
+    out = render_vl_hist({i: i for i in range(1, 20)}, top=3)
+    bars = [ln for ln in out.splitlines() if ln.startswith("  vl ")]
+    assert len(bars) == 3
+
+
+def test_per_phase_blocks():
+    out = render_phase_vl_hists({1: {240: 5}, 6: {240: 7}, 7: {}})
+    assert "phase 1" in out and "phase 6" in out and "phase 7" not in out

@@ -1,0 +1,93 @@
+"""Tests for cross-process trace capture: TracedWorker + merge."""
+
+import json
+import os
+
+from repro import obs
+from repro.obs import chrome
+from repro.obs.tracer import Tracer
+from repro.obs.workers import (
+    TRACE_DIR_ENV,
+    WORKER_PID_BASE,
+    TracedWorker,
+    merge_worker_traces,
+    trace_path,
+)
+from repro.experiments.config import RunConfig
+from repro.experiments.executor import ExecutionPlan, execute_plan, simulate_to_dict
+
+TINY = (4, 4, 4)
+
+
+def _cfg(vs=16):
+    return RunConfig(opt="vanilla", vector_size=vs, mesh_dims=TINY)
+
+
+def test_traced_worker_transparent_without_env(monkeypatch):
+    monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+    cfg = _cfg()
+    assert TracedWorker(simulate_to_dict)(cfg) == simulate_to_dict(cfg)
+
+
+def test_traced_worker_writes_trace_file(tmp_path, monkeypatch):
+    monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+    cfg = _cfg()
+    TracedWorker(simulate_to_dict)(cfg)
+    path = trace_path(tmp_path, cfg.key())
+    assert path.exists()
+    events = chrome.load(path)
+    # the worker wraps the run in a wall span and captures SIM phase spans.
+    assert any(e.get("name", "").startswith("run ") for e in events)
+    assert chrome.phase_span_names(events)
+
+
+def test_merge_remaps_worker_pids(tmp_path):
+    for i, key in enumerate(["a", "b"]):
+        t = Tracer()
+        t.span_at(f"phase{i}", cat="phase", t0=0, t1=10, phase=i + 1)
+        chrome.dump(t, trace_path(tmp_path, key))
+    tracer = Tracer()
+    merged = merge_worker_traces(tracer, tmp_path)
+    assert merged == 2
+    pids = {e["pid"] for e in tracer.raw_events}
+    assert pids == {WORKER_PID_BASE, WORKER_PID_BASE + 1}
+
+
+def test_merge_skips_unreadable_files(tmp_path):
+    (tmp_path / "worker-0-bad.json").write_text("{truncated")
+    tracer = Tracer()
+    assert merge_worker_traces(tracer, tmp_path) == 0
+    assert tracer.raw_events == []
+
+
+def test_execute_plan_merges_worker_traces(tmp_path):
+    plan = ExecutionPlan.from_configs([_cfg(16), _cfg(64), _cfg(128)])
+    tracer = Tracer()
+    with obs.use(tracer):
+        res = execute_plan(plan, cache_dir=tmp_path / "c", jobs=2)
+    assert not res.failed
+    assert tracer.raw_events, "worker traces were not merged"
+    assert all(e["pid"] >= WORKER_PID_BASE for e in tracer.raw_events)
+    # executor progress landed as points/counters on the coordinator.
+    kinds = {dict(p.args).get("kind") for p in tracer.points} | \
+        {p.name for p in tracer.points}
+    assert "sweep start" in kinds and "sweep end" in kinds
+    assert any(c.name == "queue depth" for c in tracer.counters)
+    # the trace dir is temporary: nothing leaks into the cache dir or env.
+    assert TRACE_DIR_ENV not in os.environ
+    assert all("worker-" not in p.name
+               for p in (tmp_path / "c").rglob("*.json"))
+
+
+def test_untraced_parallel_payloads_unchanged(tmp_path):
+    """With no ambient tracer the pool path is byte-for-byte the seed's."""
+    plan = ExecutionPlan.from_configs([_cfg(16), _cfg(64)])
+    bare = execute_plan(plan, cache_dir=tmp_path / "bare", jobs=2)
+    with obs.use(Tracer()):
+        traced = execute_plan(plan, cache_dir=tmp_path / "traced", jobs=2)
+    assert not bare.failed and not traced.failed
+    bare_files = {p.name: p.read_bytes()
+                  for p in (tmp_path / "bare").rglob("*.json")}
+    traced_files = {p.name: p.read_bytes()
+                    for p in (tmp_path / "traced").rglob("*.json")}
+    assert bare_files == traced_files

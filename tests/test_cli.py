@@ -74,6 +74,32 @@ def test_trace_export(tmp_path, capsys):
     assert trace.blocks
 
 
+def test_trace_preset_and_chrome_export(tmp_path, capsys):
+    prv = tmp_path / "t.prv"
+    chrome_json = tmp_path / "t.json"
+    code, out = run_cli(capsys, "trace", "--preset", "tiny",
+                        "-o", str(prv), "--out", str(chrome_json))
+    assert code == 0
+    assert "phase timeline" in out and "granted-vl histogram" in out
+    # paraver companions land next to the .prv
+    assert (tmp_path / "t.pcf").exists() and (tmp_path / "t.row").exists()
+    from repro.obs import chrome
+    from repro.trace import paraver
+
+    events = chrome.load(chrome_json)
+    assert len(set(chrome.phase_span_names(events))) == 8
+    assert paraver.load(prv).blocks
+
+
+def test_trace_chrome_export_is_deterministic(tmp_path, capsys):
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for p in paths:
+        code, _ = run_cli(capsys, "trace", "--preset", "tiny",
+                          "-o", str(p.with_suffix(".prv")), "--out", str(p))
+        assert code == 0
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+
+
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["frobnicate"])
@@ -129,6 +155,50 @@ def test_bench_smoke_writes_json_report(tmp_path, capsys, monkeypatch):
     assert payload["configs"] == 3 and payload["jobs"] == 2
     assert payload["cold_simulated"] == 3 and payload["warm_cache_hits"] == 3
     assert payload["serial_s"] > 0 and payload["parallel_s"] > 0
+    assert len(payload["phase_cycles"]) == 3
+    for phases in payload["phase_cycles"].values():
+        assert set(phases) == {str(p) for p in range(1, 9)}
+
+
+def test_bench_baseline_gate(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli(capsys, "bench", "--mesh", "tiny",
+                      "--profile", "smoke", "-o", "base.json")
+    assert code == 0
+
+    # fresh report vs itself: within tolerance, exit 0.
+    code, out = run_cli(capsys, "bench", "--mesh", "tiny",
+                        "--profile", "smoke", "-o", "cur.json",
+                        "--baseline", "base.json")
+    assert code == 0 and "gate:" in out
+
+    # inject a >=10% per-phase regression into the baseline: exit 1.
+    doc = json.loads((tmp_path / "base.json").read_text())
+    key = next(iter(doc["phase_cycles"]))
+    doc["phase_cycles"][key]["6"] *= 1.15
+    (tmp_path / "regressed.json").write_text(json.dumps(doc))
+    code, out = run_cli(capsys, "bench", "--mesh", "tiny",
+                        "--profile", "smoke", "-o", "cur2.json",
+                        "--baseline", "regressed.json")
+    assert code == 1
+    assert "FAIL" in out and "phase 6" in out
+
+    # a wider threshold lets the same drift through.
+    code, out = run_cli(capsys, "bench", "--mesh", "tiny",
+                        "--profile", "smoke", "-o", "cur3.json",
+                        "--baseline", "regressed.json",
+                        "--threshold", "0.25")
+    assert code == 0 and "gate:" in out
+
+
+def test_bench_baseline_unusable_exits_2(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code, _ = run_cli(capsys, "bench", "--mesh", "tiny",
+                      "--profile", "smoke", "-o", "cur.json",
+                      "--baseline", "missing.json")
+    assert code == 2
 
 
 def test_cli_survives_corrupted_cache(tmp_path, capsys, monkeypatch):

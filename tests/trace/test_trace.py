@@ -119,7 +119,8 @@ def test_tracer_clear(traced_run):
 @given(st.lists(
     st.tuples(
         st.integers(1, 8),
-        st.sampled_from(["vle", "vse", "vfmadd", "vsetvl", "vlxe"]),
+        st.sampled_from(["vle", "vse", "vfmadd", "vsetvl", "vlxe",
+                         "op:with:colons", "50%:load", "a\nb"]),
         st.integers(1, 256),
         st.integers(1, 1000),
     ),
@@ -133,3 +134,43 @@ def test_paraver_event_roundtrip_property(records):
     back = paraver.loads(paraver.dumps(t))
     assert [(e.phase, e.opcode, e.vl, e.count) for e in back.vector_instrs] == \
         [(e.phase, e.opcode, e.vl, e.count) for e in t.vector_instrs]
+
+
+@settings(deadline=None, max_examples=50)
+@given(st.text(min_size=0, max_size=40))
+def test_paraver_escape_roundtrip_property(text):
+    escaped = paraver.escape_field(text)
+    assert ":" not in escaped and "\n" not in escaped and "\r" not in escaped
+    assert paraver.unescape_field(escaped) == text
+
+
+def test_paraver_roundtrips_separator_in_labels():
+    """The seed writer corrupted records whose labels contained ':'."""
+    t = Tracer()
+    t.blocks.append(BlockEvent(3, "loop: j=1:ndime", "vector: 25%", 0.0, 50.0))
+    t.vector_instrs.append(VectorInstrEvent(3, "vle64.v:unit", 64, 4, t=0.0))
+    back = paraver.loads(paraver.dumps(t))
+    (b,) = back.blocks
+    assert b.label == "loop: j=1:ndime" and b.kind == "vector: 25%"
+    (e,) = back.vector_instrs
+    assert e.opcode == "vle64.v:unit"
+
+
+def test_paraver_rejects_malformed_records():
+    header = f"{paraver.HEADER_PREFIX}:100:1:1:1\n"
+    with pytest.raises(ValueError, match="malformed state"):
+        paraver.loads(header + "1:1:1:1:0:10:1:scalar\n")
+    with pytest.raises(ValueError, match="malformed event"):
+        paraver.loads(header + "2:1:1:1:0:vle:64:4:1:extra\n")
+
+
+def test_paraver_writes_pcf_and_row_companions(tmp_path, traced_run):
+    tracer, _ = traced_run
+    path = tmp_path / "run.prv"
+    paraver.dump(tracer, path, with_config=True)
+    pcf = (tmp_path / "run.pcf").read_text()
+    assert "STATES" in pcf and "EVENT_TYPE" in pcf
+    assert "convective" in pcf          # phase 6 named after the paper
+    assert str(paraver.VECTOR_EVENT_TYPE) in pcf
+    row = (tmp_path / "run.row").read_text()
+    assert "LEVEL THREAD SIZE 1" in row
