@@ -3,8 +3,10 @@
 ``MiniApp`` binds everything together for one configuration
 (mesh, VECTOR_SIZE, optimization level):
 
-* builds the IR kernels for the requested optimization level, runs the
-  auto-vectorizer, and lowers them to machine programs;
+* builds the canonical baseline IR kernels, runs the transformation
+  pass pipeline for the requested optimization level (or an explicit
+  pass list), then the auto-vectorizer, and lowers the result to
+  machine programs;
 * ``run_timed(machine)`` executes the compiled program chunk by chunk on
   a machine model, returning the per-phase hardware counters the paper's
   tables and figures are computed from;
@@ -31,13 +33,19 @@ from repro.cfd.csr import CSRPattern, build_pattern
 from repro.cfd.fields import make_global_fields
 from repro.cfd.kernel_context import MiniAppContext
 from repro.cfd.mesh import Mesh
-from repro.cfd.phases import KernelConfig, build_kernels
+from repro.cfd.phases import KernelConfig, build_baseline_kernels
 from repro.cfd.reference import run_reference_chunk
-from repro.compiler.codegen import lower_kernel
 from repro.compiler.flags import PAPER_FLAGS, SCALAR_FLAGS, CompilerFlags
 from repro.compiler.interpreter import Interpreter
-from repro.compiler.program import CompiledKernel
-from repro.compiler.vectorizer import VecRemark, vectorize_kernel
+from repro.compiler.program import CompiledKernel, compile_kernels
+from repro.compiler.transforms import (
+    PassPipeline,
+    TransformRemark,
+    opt_for_passes,
+    pipeline_for_opt,
+    pipeline_from_names,
+)
+from repro.compiler.vectorizer import VecRemark
 from repro.machine.cpu import Machine
 from repro.machine.params import MachineParams
 from repro.metrics.counters import RunCounters
@@ -73,9 +81,18 @@ class MiniApp:
     def __init__(self, mesh: Mesh, vector_size: int, opt: str = "vanilla",
                  flags: Optional[CompilerFlags] = None,
                  params: Optional[dict[str, float]] = None,
-                 field_seed: int = 0):
+                 field_seed: int = 0,
+                 passes: Optional[tuple[str, ...]] = None):
         self.mesh = mesh
         self.vector_size = vector_size
+        self.pipeline: PassPipeline
+        if passes is not None:
+            # explicit pass schedule: the rung label is derived (for
+            # flag selection and display), not prescribed.
+            self.pipeline = pipeline_from_names(passes, name="custom")
+            opt = opt_for_passes(passes) or opt
+        else:
+            self.pipeline = pipeline_for_opt(opt)
         self.opt = opt
         self.config = kernel_config_for(opt, vector_size)
         if flags is None:
@@ -94,13 +111,14 @@ class MiniApp:
             if pad else self.pattern.elpos
         )
 
-        self.kernels = build_kernels(self.context.arrays, self.config)
-        self.remarks: list[VecRemark] = []
-        self.compiled: list[CompiledKernel] = []
-        for kern in self.kernels:
-            result = vectorize_kernel(kern, self.flags)
-            self.remarks.extend(result.remarks)
-            self.compiled.append(lower_kernel(result.kernel, self.flags))
+        result = compile_kernels(
+            build_baseline_kernels(self.context.arrays, vector_size),
+            self.flags, pipeline=self.pipeline)
+        self.baseline_kernels = result.baseline
+        self.kernels = result.kernels
+        self.transform_remarks: list[TransformRemark] = result.transform_remarks
+        self.remarks: list[VecRemark] = result.vec_remarks
+        self.compiled: list[CompiledKernel] = result.compiled
 
     # ------------------------------------------------------------------
 

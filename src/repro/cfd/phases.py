@@ -22,11 +22,19 @@ meshes) and splits it into the paper's eight instrumented phases:
 8. valid-element check and scatter of elemental contributions into the
    global RHS vector and CSR matrix.
 
-Each builder returns an :class:`~repro.compiler.ir.Kernel`; the variants
-requested through :class:`KernelConfig` implement the paper's cumulative
-optimizations (VEC2 constant bound, IVEC2 interchange, VEC1 fission).
-The *numerics* of every variant are identical -- the test suite verifies
-this through the IR interpreter against the NumPy reference.
+Each builder returns the **canonical baseline** form of its phase as an
+:class:`~repro.compiler.ir.Kernel` -- the code as the Fortran mini-app
+was originally written (phase 2's trip count a runtime dummy argument,
+phase 1 one mixed loop).  The paper's cumulative optimizations (VEC2
+constant bound, IVEC2 interchange, VEC1 fission) are **not** hand
+variants anymore: they are IR-to-IR passes in
+:mod:`repro.compiler.transforms`, applied by a
+:class:`~repro.compiler.transforms.PassPipeline` before vectorization.
+:class:`KernelConfig` survives as a thin shim translating the historic
+boolean switches into a pass list.  The *numerics* of every rung are
+identical -- the test suite verifies this through the IR interpreter
+against the NumPy reference, and a frozen counters fixture pins the
+pipeline output to the pre-refactor hand-written variants.
 """
 
 from __future__ import annotations
@@ -60,7 +68,18 @@ from repro.compiler.ir import (
 
 @dataclass(frozen=True)
 class KernelConfig:
-    """Which of the paper's code transformations are applied."""
+    """Which of the paper's code transformations are applied.
+
+    Historic boolean interface, kept as a thin shim: the booleans no
+    longer select hand-written kernel variants, they translate --
+    via :meth:`pass_names` -- into the ordered pass list a
+    :class:`~repro.compiler.transforms.PassPipeline` applies to the
+    canonical baseline kernels.  The old ``__post_init__`` coupling
+    ("IVEC2 requires VEC2") now lives where it belongs: as the pipeline
+    dependency ``LoopInterchange.requires = (ConstantTripCount,)``,
+    enforced when the pipeline is built, with an error naming the
+    missing pass.
+    """
 
     vector_size: int
     #: VEC2 -- phase 2's loop bound becomes a compile-time constant.
@@ -70,9 +89,23 @@ class KernelConfig:
     #: VEC1 -- phase 1's mixed loop fissioned into two loops.
     phase1_fissioned: bool = False
 
-    def __post_init__(self) -> None:
-        if self.phase2_interchanged and not self.phase2_const_bound:
-            raise ValueError("IVEC2 requires the VEC2 constant bound")
+    def pass_names(self) -> tuple[str, ...]:
+        """The transformation-pass spelling of this config, in the
+        paper's cumulative order."""
+        from repro.compiler.transforms import (
+            ConstantTripCount,
+            LoopFission,
+            LoopInterchange,
+        )
+
+        names: list[str] = []
+        if self.phase2_const_bound:
+            names.append(ConstantTripCount.name)
+        if self.phase2_interchanged:
+            names.append(LoopInterchange.name)
+        if self.phase1_fissioned:
+            names.append(LoopFission.name)
+        return tuple(names)
 
 
 # ---------------------------------------------------------------------------
@@ -141,10 +174,16 @@ def _node(A: dict[str, Array]) -> Indirect:
     return Indirect(A["lnods"], (ELEM, var("inode")))
 
 
-def _ivect_extent(cfg: KernelConfig, runtime_dummy: bool = False) -> Extent:
-    if runtime_dummy:
-        return Extent(cfg.vector_size, "runtime_dummy", "VECTOR_DIM")
-    return Extent(cfg.vector_size, "param", "VECTOR_SIZE")
+def _vec_extent(vs: int) -> Extent:
+    """The chunk-element extent as a compile-time-known parameter."""
+    return Extent(vs, "param", "VECTOR_SIZE")
+
+
+def _vec_dummy_extent(vs: int) -> Extent:
+    """The chunk-element extent as the original runtime dummy argument
+    ``VECTOR_DIM`` (the phase-2 vectorization blocker that
+    :class:`~repro.compiler.transforms.ConstantTripCount` removes)."""
+    return Extent(vs, "runtime_dummy", "VECTOR_DIM")
 
 
 def _loop(varname: str, extent, body: list[Stmt]) -> Loop:
@@ -158,7 +197,7 @@ def _loop(varname: str, extent, body: list[Stmt]) -> Loop:
 # ---------------------------------------------------------------------------
 
 
-def phase1(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
+def phase1(A: dict[str, Array], vs: int) -> Kernel:
     mate = Indirect(A["lmate"], (ELEM,))
     work_a: list[Stmt] = [
         # WORK A: property gathers + the data-dependent special-element
@@ -201,14 +240,11 @@ def phase1(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
         Assign(R(A["elsgs"], "ivect", d, g), L(A["tesgs"], ELEM, d, g))
         for g in range(NGAUS) for d in range(NDIME)
     ]
-    ext = _ivect_extent(cfg)
-    if cfg.phase1_fissioned:
-        body: tuple[Stmt, ...] = (
-            _loop("ivect", ext, work_a),
-            _loop("ivect", ext, work_b),
-        )
-    else:
-        body = (_loop("ivect", ext, work_a + work_b),)
+    # canonical form: ONE mixed loop (Algorithm 3).  The VEC1 fission
+    # into the WORK A / WORK B pair (Algorithm 4) is performed by the
+    # LoopFission pass.
+    body: tuple[Stmt, ...] = (_loop("ivect", _vec_extent(vs),
+                                    work_a + work_b),)
     return Kernel(name="phase1_gather_element", phase=1, body=body)
 
 
@@ -217,7 +253,7 @@ def phase1(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
 # ---------------------------------------------------------------------------
 
 
-def phase2(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
+def phase2(A: dict[str, Array], vs: int) -> Kernel:
     node = _node(A)
     unk_stmt = Assign(R(A["elunk"], "ivect", "inode", "idofn"),
                       Load(Ref(A["unkno"], (node, var("idofn")))))
@@ -225,31 +261,20 @@ def phase2(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
                       Load(Ref(A["unkno_old"], (node, var("idime")))))
     cod_stmt = Assign(R(A["elcod"], "ivect", "inode", "idime"),
                       Load(Ref(A["coord"], (node, var("idime")))))
-    if cfg.phase2_interchanged:
-        body: tuple[Stmt, ...] = (
+    # canonical form (Algorithm 1): ivect outermost with a *runtime
+    # dummy* trip count -- the original vectorization blocker.  The VEC2
+    # promotion of VECTOR_DIM to a compile-time parameter and the IVEC2
+    # interchange (Algorithm 2, ivect innermost) are performed by the
+    # ConstantTripCount and LoopInterchange passes.
+    body: tuple[Stmt, ...] = (
+        _loop("ivect", _vec_dummy_extent(vs), [
             _loop("inode", PNODE, [
-                _loop("idofn", NDOFN, [
-                    _loop("ivect", _ivect_extent(cfg), [unk_stmt]),
-                ]),
-                _loop("idime", NDIME, [
-                    _loop("ivect", _ivect_extent(cfg), [old_stmt]),
-                ]),
-                _loop("idime", NDIME, [
-                    _loop("ivect", _ivect_extent(cfg), [cod_stmt]),
-                ]),
+                _loop("idofn", NDOFN, [unk_stmt]),
+                _loop("idime", NDIME, [old_stmt]),
+                _loop("idime", NDIME, [cod_stmt]),
             ]),
-        )
-    else:
-        ext = _ivect_extent(cfg, runtime_dummy=not cfg.phase2_const_bound)
-        body = (
-            _loop("ivect", ext, [
-                _loop("inode", PNODE, [
-                    _loop("idofn", NDOFN, [unk_stmt]),
-                    _loop("idime", NDIME, [old_stmt]),
-                    _loop("idime", NDIME, [cod_stmt]),
-                ]),
-            ]),
-        )
+        ]),
+    )
     return Kernel(name="phase2_gather_nodal", phase=2, body=body)
 
 
@@ -258,8 +283,8 @@ def phase2(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
 # ---------------------------------------------------------------------------
 
 
-def phase3(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
-    iv = _ivect_extent(cfg)
+def phase3(A: dict[str, Array], vs: int) -> Kernel:
+    iv = _vec_extent(vs)
     xj = lambda i, j: L(A["xjacm"], "ivect", i, j)
 
     det_expr = fsum([
@@ -343,8 +368,8 @@ def phase3(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
 # ---------------------------------------------------------------------------
 
 
-def phase4(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
-    iv = _ivect_extent(cfg)
+def phase4(A: dict[str, Array], vs: int) -> Kernel:
+    iv = _vec_extent(vs)
     body = (
         _loop("igaus", NGAUS, [
             _loop("idime", NDIME, [
@@ -421,8 +446,8 @@ def phase4(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
 # ---------------------------------------------------------------------------
 
 
-def phase5(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
-    iv = _ivect_extent(cfg)
+def phase5(A: dict[str, Array], vs: int) -> Kernel:
+    iv = _vec_extent(vs)
     v0 = lambda d: L(A["gpvel"], "ivect", d, 0)
     body = (
         # |u| at the first integration point.
@@ -478,8 +503,8 @@ def phase5(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
 # ---------------------------------------------------------------------------
 
 
-def phase6(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
-    iv = _ivect_extent(cfg)
+def phase6(A: dict[str, Array], vs: int) -> Kernel:
+    iv = _vec_extent(vs)
     gpc = lambda d, n: L(A["gpcar"], "ivect", d, n, "igaus")
     gpv = lambda d: L(A["gpvel"], "ivect", d, "igaus")
     body = (
@@ -603,8 +628,8 @@ def phase6(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
 # ---------------------------------------------------------------------------
 
 
-def phase7(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
-    iv = _ivect_extent(cfg)
+def phase7(A: dict[str, Array], vs: int) -> Kernel:
+    iv = _vec_extent(vs)
     gpc = lambda d, n: L(A["gpcar"], "ivect", d, n, "igaus")
 
     def divN(n: str) -> Expr:
@@ -656,13 +681,13 @@ def phase7(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
 # ---------------------------------------------------------------------------
 
 
-def phase8(A: dict[str, Array], cfg: KernelConfig) -> Kernel:
+def phase8(A: dict[str, Array], vs: int) -> Kernel:
     node = _node(A)
     # elauu(ivect, jnode, inode) is the (test=jnode, trial=inode) entry;
     # elpos(e, r, c) holds the CSR slot of (row=lnods(e,r), col=lnods(e,c)).
     pos = Indirect(A["elpos"], (ELEM, var("jnode"), var("inode")))
     body = (
-        _loop("ivect", _ivect_extent(cfg), [
+        _loop("ivect", _vec_extent(vs), [
             If(
                 Cond("eq", L(A["ltype"], ELEM), C(HEX08)),
                 (
@@ -707,6 +732,18 @@ PHASE_NAMES: dict[int, str] = {
 }
 
 
+def build_baseline_kernels(arrays: dict[str, Array],
+                           vector_size: int) -> list[Kernel]:
+    """All eight phase kernels in canonical baseline form (pre-pass)."""
+    return [builder(arrays, vector_size) for builder in PHASE_BUILDERS]
+
+
 def build_kernels(arrays: dict[str, Array], cfg: KernelConfig) -> list[Kernel]:
-    """All eight phase kernels for one configuration."""
-    return [builder(arrays, cfg) for builder in PHASE_BUILDERS]
+    """All eight phase kernels for one configuration (baseline kernels
+    run through the pass pipeline the config's booleans spell)."""
+    from repro.compiler.transforms import pipeline_from_names
+
+    pipeline = pipeline_from_names(cfg.pass_names())
+    kernels, _ = pipeline.run_all(
+        build_baseline_kernels(arrays, cfg.vector_size))
+    return kernels

@@ -10,6 +10,9 @@ command per artifact or workflow:
   with ``--baseline PATH`` it also gates the fresh per-phase cycle
   counts against a committed report and exits non-zero on a breach;
 * ``remarks``                   -- the compiler's vectorization remarks;
+* ``passes``                    -- run the transformation pass pipeline
+  and show each kernel before/after every applied pass, with the
+  transform remarks (the ``-fopt-info`` of the modelled compiler);
 * ``advise``                    -- the co-design advisor's findings;
 * ``codesign``                  -- run the full iterative loop;
 * ``trace``                     -- run under the observability tracer;
@@ -154,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "fault-plan.json")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="log each stage to stderr")
+    p.add_argument("--validate", action="store_true",
+                   help="additionally golden-check every pipeline stage "
+                        "of every rung (transformed mode) and prove a "
+                        "mis-legalized trip count is detected")
 
     p = sub.add_parser("bench", help="time the sweep executor (serial vs "
                                      "parallel) and write a JSON report")
@@ -174,6 +181,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("remarks", help="compiler vectorization remarks")
     _add_common(p)
+
+    p = sub.add_parser("passes", help="show the transformation pass "
+                                      "pipeline: before/after IR + "
+                                      "transform remarks")
+    _add_common(p)
+    p.add_argument("--preset", choices=("tiny", "quick", "full"),
+                   default=None,
+                   help="mesh preset shorthand; overrides --mesh")
+    p.add_argument("--full", action="store_true",
+                   help="print full right-hand sides instead of eliding "
+                        "them to '...'")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="also print not-applicable remarks")
 
     p = sub.add_parser("advise", help="co-design advisor findings")
     _add_common(p)
@@ -343,6 +363,26 @@ def _cmd_chaos(args) -> int:
         print("FAIL: injected fault(s) were silently absorbed",
               file=sys.stderr, flush=True)
         return 1
+    if args.validate:
+        from repro.faults.injector import mislegalize_trip_count
+        from repro.validation.golden import golden_check
+
+        vrows = [["rung", "pipeline stages", "outcome"]]
+        stages_ok = True
+        for rung in ("vanilla", "vec2", "ivec2", "vec1"):
+            g = golden_check(rung, transformed=True)
+            stages_ok &= g.ok
+            vrows.append([rung, str(len(g.stages)),
+                          "ok" if g.ok else "FAIL"])
+        bad = golden_check("vec2", mutate=mislegalize_trip_count)
+        vrows.append(["vec2 + mislegalized trip count", "fault drill",
+                      "detected" if not bad.ok else "SILENT"])
+        print()
+        print(report.format_table(vrows))
+        if not stages_ok or bad.ok:
+            print("FAIL: pass-pipeline golden validation",
+                  file=sys.stderr, flush=True)
+            return 1
     return 0
 
 
@@ -356,6 +396,34 @@ def _cmd_remarks(args) -> int:
     app = _make_app(args)
     for r in app.remarks:
         print(r)
+    return 0
+
+
+def _cmd_passes(args) -> int:
+    from repro.compiler.irprint import format_kernel
+
+    if args.preset:
+        args.mesh = args.preset
+    app = _make_app(args)
+    names = list(app.pipeline.pass_names)
+    print(f"pass pipeline for opt={app.opt!r}: {names or '(empty)'}")
+    if not names:
+        print("no transformation passes scheduled at this rung; the "
+              "canonical baseline kernels go straight to the vectorizer.")
+        return 0
+    kernels = list(app.baseline_kernels)
+    for p in app.pipeline:
+        for i, kern in enumerate(kernels):
+            new, remark = p.run(kern)
+            kernels[i] = new
+            if remark.status == "applied":
+                print(f"\n== {remark}")
+                print("-- before:")
+                print(format_kernel(kern, elide_exprs=not args.full))
+                print("-- after:")
+                print(format_kernel(new, elide_exprs=not args.full))
+            elif remark.status == "illegal" or args.verbose:
+                print(f"\n== {remark}")
     return 0
 
 
@@ -398,9 +466,11 @@ def _cmd_trace(args) -> int:
 
     if args.preset:
         args.mesh = args.preset
-    app = _make_app(args)
     tracer = obs.Tracer()
+    # build the app *inside* the tracer context so the transformation
+    # pass spans/remarks land in the trace alongside the run.
     with obs.use(tracer):
+        app = _make_app(args)
         app.run_timed(get_machine(args.machine))
     paraver.dump(tracer, args.output, with_config=True)
     written = [str(args.output)]
@@ -410,6 +480,15 @@ def _cmd_trace(args) -> int:
                           "opt": args.opt, "vector_size": args.vs,
                           "field_seed": args.seed})
         written.append(str(args.out))
+
+    remarks = [p for p in tracer.points if p.cat == "pass"]
+    if remarks:
+        print(f"transform pipeline ({len(remarks)} remark(s)):")
+        for p in remarks:
+            a = dict(p.args)
+            print(f"  phase {a.get('phase')} [{a.get('pass_name')}] "
+                  f"{a.get('status')}: {a.get('reason')}")
+        print()
 
     stats = phase_stats(tracer)
     rows = [["phase", "cycles", "vector instrs", "AVL"]]
@@ -451,6 +530,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": lambda: _cmd_bench(args),
         "chaos": lambda: _cmd_chaos(args),
         "remarks": lambda: _cmd_remarks(args),
+        "passes": lambda: _cmd_passes(args),
         "advise": lambda: _cmd_advise(args),
         "codesign": lambda: _cmd_codesign(args),
         "trace": lambda: _cmd_trace(args),

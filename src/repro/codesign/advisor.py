@@ -27,6 +27,12 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.cfd.assembly import MiniApp
+from repro.compiler.transforms import (
+    ConstantTripCount,
+    LoopFission,
+    LoopInterchange,
+    Pass,
+)
 from repro.compiler.vectorizer import VecRemark
 from repro.machine.params import MachineParams
 from repro.metrics import metrics as M
@@ -209,6 +215,44 @@ NEXT_STEP: dict[str, tuple[str, str]] = {
     "vec2": ("ivec2", "low-avl"),
     "ivec2": ("vec1", "mixed-loop-body"),
 }
+
+#: finding category -> the transformation pass that fixes it (the
+#: executable form of the paper's three lessons learned).
+CATEGORY_PASS: dict[str, type[Pass]] = {
+    "runtime-trip-count": ConstantTripCount,
+    "low-avl": LoopInterchange,
+    "mixed-loop-body": LoopFission,
+}
+
+
+def _with_prereqs(cls: type[Pass],
+                  applied: frozenset[str]) -> type[Pass]:
+    """The first unapplied prerequisite of *cls*, or *cls* itself --
+    recommending ``loop-interchange`` before ``const-trip-count`` ran
+    would only produce an illegal remark."""
+    for req in cls.requires:
+        if req.name not in applied:
+            return _with_prereqs(req, applied)
+    return cls
+
+
+def recommend_next_pass(findings: list[Finding],
+                        current_passes: Iterable[str]) -> Optional[type[Pass]]:
+    """The transformation pass the top actionable finding calls for.
+
+    This is what lets the co-design loop *apply* its own advice: the
+    returned pass class is appended to the pipeline and the mini-app is
+    recompiled, no hand refactor in between.  Returns ``None`` when no
+    finding maps to an unapplied pass (the vec1 end state).
+    """
+    applied = frozenset(current_passes)
+    actionable = [f for f in findings if f.category in CATEGORY_PASS]
+    for f in sorted(actionable, key=lambda f: (f.severity, f.cycles_share),
+                    reverse=True):
+        cls = _with_prereqs(CATEGORY_PASS[f.category], applied)
+        if cls.name not in applied:
+            return cls
+    return None
 
 
 def recommend_next_opt(findings: list[Finding], current_opt: str

@@ -5,12 +5,24 @@ from repro.compiler.vectorizer import VecRemark, VectorizationResult, vectorize_
 from repro.compiler.codegen import lower_kernel
 from repro.compiler.program import (
     CompiledKernel,
+    CompileResult,
     KernelInstance,
     MemoryLayout,
     ScalarBlock,
     VectorBlock,
+    compile_kernels,
 )
 from repro.compiler.interpreter import Interpreter, run_kernel
+from repro.compiler.transforms import (
+    OPT_PASSES,
+    PASS_REGISTRY,
+    Pass,
+    PassPipeline,
+    PipelineError,
+    TransformRemark,
+    pipeline_for_opt,
+    pipeline_from_names,
+)
 
 __all__ = [
     "PAPER_FLAGS",
@@ -27,4 +39,14 @@ __all__ = [
     "VectorBlock",
     "Interpreter",
     "run_kernel",
+    "CompileResult",
+    "compile_kernels",
+    "OPT_PASSES",
+    "PASS_REGISTRY",
+    "Pass",
+    "PassPipeline",
+    "PipelineError",
+    "TransformRemark",
+    "pipeline_for_opt",
+    "pipeline_from_names",
 ]

@@ -1,0 +1,122 @@
+"""A compact, Fortran-flavoured pretty-printer for the loop-nest IR.
+
+Used by ``repro passes`` to show a kernel before and after each
+transformation pass -- the textual diff makes the effect of a pass
+(promoted bounds, sunk loops, fissioned bodies) legible the way
+``-fopt-info`` dumps are.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    Affine,
+    Assign,
+    BinOp,
+    Cond,
+    Const,
+    Expr,
+    Extent,
+    If,
+    IndexExpr,
+    Indirect,
+    Kernel,
+    Load,
+    Loop,
+    Param,
+    Ref,
+    Stmt,
+    Unary,
+)
+
+_BINOP = {"add": "+", "sub": "-", "mul": "*", "div": "/"}
+
+
+def format_index(expr: IndexExpr) -> str:
+    if isinstance(expr, Affine):
+        parts = []
+        for v, c in expr.terms:
+            parts.append(v if c == 1 else f"{c}*{v}")
+        if expr.const or not parts:
+            parts.append(str(expr.const))
+        return "+".join(parts)
+    if isinstance(expr, Indirect):
+        inner = ", ".join(format_index(e) for e in expr.idx)
+        out = f"{expr.array.name}({inner})"
+        if expr.scale != 1:
+            out = f"{expr.scale}*{out}"
+        if expr.offset:
+            out = f"{out}+{expr.offset}"
+        return out
+    return repr(expr)
+
+
+def format_ref(ref: Ref) -> str:
+    return f"{ref.array.name}({', '.join(format_index(i) for i in ref.idx)})"
+
+
+def format_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        v = expr.value
+        return str(int(v)) if v == int(v) else f"{v:g}"
+    if isinstance(expr, Param):
+        return expr.name
+    if isinstance(expr, Load):
+        return format_ref(expr.ref)
+    if isinstance(expr, BinOp):
+        op = _BINOP.get(expr.op)
+        lhs, rhs = format_expr(expr.lhs), format_expr(expr.rhs)
+        if op is None:
+            return f"{expr.op}({lhs}, {rhs})"
+        return f"({lhs} {op} {rhs})"
+    if isinstance(expr, Unary):
+        return f"{expr.op}({format_expr(expr.x)})"
+    return repr(expr)
+
+
+def format_cond(cond: Cond) -> str:
+    return f"{format_expr(cond.lhs)} .{cond.op}. {format_expr(cond.rhs)}"
+
+
+def format_extent(extent: Extent) -> str:
+    if extent.kind == "const":
+        return str(extent.value)
+    label = extent.name or "?"
+    if extent.kind == "param":
+        return f"{label}[param={extent.value}]"
+    return f"{label}[runtime dummy={extent.value}]"
+
+
+def _format_stmt(stmt: Stmt, depth: int, lines: list[str],
+                 elide_exprs: bool) -> None:
+    pad = "  " * depth
+    if isinstance(stmt, Loop):
+        vec = "  ! vectorized" if stmt.vectorized else ""
+        lines.append(f"{pad}do {stmt.var} = 1, "
+                     f"{format_extent(stmt.extent)}{vec}")
+        for s in stmt.body:
+            _format_stmt(s, depth + 1, lines, elide_exprs)
+        lines.append(f"{pad}end do")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if ({format_cond(stmt.cond)}) then")
+        for s in stmt.body:
+            _format_stmt(s, depth + 1, lines, elide_exprs)
+        lines.append(f"{pad}end if")
+    elif isinstance(stmt, Assign):
+        op = "=+" if stmt.accumulate else "="
+        rhs = "..." if elide_exprs else format_expr(stmt.expr)
+        lines.append(f"{pad}{format_ref(stmt.ref)} {op} {rhs}")
+    else:  # pragma: no cover - no other statement kinds exist today
+        lines.append(f"{pad}{stmt!r}")
+
+
+def format_kernel(kernel: Kernel, *, elide_exprs: bool = False) -> str:
+    """Render a kernel as indented pseudo-Fortran.
+
+    ``elide_exprs=True`` replaces right-hand sides with ``...`` so the
+    *loop structure* -- what the passes actually change -- dominates the
+    output.
+    """
+    lines = [f"kernel {kernel.name} (phase {kernel.phase})"]
+    for s in kernel.body:
+        _format_stmt(s, 1, lines, elide_exprs)
+    return "\n".join(lines)

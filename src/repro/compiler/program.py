@@ -278,3 +278,47 @@ class CompiledKernel:
 
     def scalar_blocks(self) -> list[ScalarBlock]:
         return [b for b in self.blocks if isinstance(b, ScalarBlock)]
+
+
+# ---------------------------------------------------------------------------
+# The multi-stage compilation driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompileResult:
+    """Everything the pipeline produced for one program: the baseline
+    kernels, the transformed kernels, the transform and vectorization
+    remarks, and the lowered machine programs."""
+
+    baseline: list          # list[Kernel] before any pass ran
+    kernels: list           # list[Kernel] after the pass pipeline
+    transform_remarks: list  # list[TransformRemark]
+    vec_remarks: list       # list[VecRemark]
+    compiled: list[CompiledKernel] = field(default_factory=list)
+
+
+def compile_kernels(kernels, flags, pipeline=None) -> CompileResult:
+    """Run the full compilation: transform -> vectorize -> lower.
+
+    *pipeline* is a :class:`~repro.compiler.transforms.PassPipeline`
+    (``None`` means no transformations -- baseline straight to the
+    vectorizer).  Imports are deferred: this module sits below codegen
+    and the vectorizer in the import graph.
+    """
+    from repro.compiler.codegen import lower_kernel
+    from repro.compiler.transforms import PassPipeline
+    from repro.compiler.vectorizer import vectorize_kernel
+
+    baseline = list(kernels)
+    if pipeline is None:
+        pipeline = PassPipeline()
+    transformed, transform_remarks = pipeline.run_all(baseline)
+    result = CompileResult(baseline=baseline, kernels=transformed,
+                           transform_remarks=transform_remarks,
+                           vec_remarks=[])
+    for kern in transformed:
+        vec = vectorize_kernel(kern, flags)
+        result.vec_remarks.extend(vec.remarks)
+        result.compiled.append(lower_kernel(vec.kernel, flags))
+    return result

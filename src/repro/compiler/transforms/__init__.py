@@ -1,0 +1,47 @@
+"""IR-to-IR transformation passes: the paper's refactors as a compiler.
+
+The paper's three code transformations -- VEC2 (constant trip count),
+IVEC2 (loop interchange) and VEC1 (loop fission) -- are expressed here
+as real compiler passes over the loop-nest IR instead of hand-duplicated
+kernel bodies.  Each pass carries an explicit legality precondition
+(reusing the dependence machinery of :mod:`repro.compiler.analysis`) and
+emits a structured :class:`TransformRemark` alongside the vectorizer's
+remarks, so ``repro passes`` can show *why* a kernel was or was not
+rewritten.  :class:`PassPipeline` orders passes, enforces inter-pass
+dependencies (``LoopInterchange.requires = (ConstantTripCount,)``), and
+maps the paper's OPT rungs to ordered pass lists.
+"""
+
+from repro.compiler.transforms.base import (
+    Pass,
+    PipelineError,
+    TransformRemark,
+)
+from repro.compiler.transforms.passes import (
+    ConstantTripCount,
+    LoopFission,
+    LoopInterchange,
+)
+from repro.compiler.transforms.pipeline import (
+    OPT_PASSES,
+    PASS_REGISTRY,
+    PassPipeline,
+    opt_for_passes,
+    pipeline_for_opt,
+    pipeline_from_names,
+)
+
+__all__ = [
+    "ConstantTripCount",
+    "LoopFission",
+    "LoopInterchange",
+    "OPT_PASSES",
+    "PASS_REGISTRY",
+    "Pass",
+    "PassPipeline",
+    "PipelineError",
+    "TransformRemark",
+    "opt_for_passes",
+    "pipeline_for_opt",
+    "pipeline_from_names",
+]

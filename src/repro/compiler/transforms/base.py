@@ -1,0 +1,185 @@
+"""Pass protocol, transform remarks, and dependence helpers.
+
+A :class:`Pass` is an IR-to-IR rewrite with an explicit legality
+precondition.  ``run(kernel)`` never raises on an inapplicable or
+illegal kernel -- it returns the kernel unchanged together with a
+:class:`TransformRemark` explaining the decision, mirroring how the
+vectorizer reports blockers instead of failing.  Pipeline-level
+*structural* errors (a pass scheduled before its prerequisites) do
+raise: they are programming errors in the pipeline spec, not properties
+of the code being compiled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Optional
+
+from repro.compiler.analysis import Blocker, _index_refs, refs_in_expr
+from repro.compiler.ir import Assign, If, Kernel, Loop, Ref, Stmt
+
+
+@dataclass(frozen=True)
+class TransformRemark:
+    """One transformation decision (the pass-pipeline analogue of
+    :class:`~repro.compiler.vectorizer.VecRemark`)."""
+
+    pass_name: str
+    kernel: str
+    phase: int
+    status: str  # applied | not-applicable | illegal
+    loop_var: str = ""
+    reason: str = ""
+    blockers: tuple[Blocker, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        head = f"{self.kernel}/phase{self.phase} [{self.pass_name}]: {self.status}"
+        if self.loop_var:
+            head += f" (loop '{self.loop_var}')"
+        if self.reason:
+            head += f" -- {self.reason}"
+        return head
+
+
+class PipelineError(ValueError):
+    """A structurally invalid pass pipeline (ordering/dependency bug)."""
+
+
+class Pass:
+    """Base class for IR-to-IR transformation passes.
+
+    Subclasses set ``name`` (the registry spelling), ``requires`` (pass
+    classes that must run earlier in the same pipeline) and implement
+    :meth:`run`.  ``vec_var`` names the chunk-element loop variable the
+    paper's transformations revolve around.
+    """
+
+    name: ClassVar[str] = "pass"
+    requires: ClassVar[tuple[type["Pass"], ...]] = ()
+
+    def __init__(self, vec_var: str = "ivect"):
+        self.vec_var = vec_var
+
+    def run(self, kernel: Kernel) -> tuple[Kernel, TransformRemark]:
+        raise NotImplementedError
+
+    # -- remark helpers ----------------------------------------------------
+
+    def _remark(self, kernel: Kernel, status: str, *, loop_var: str = "",
+                reason: str = "",
+                blockers: tuple[Blocker, ...] = ()) -> TransformRemark:
+        return TransformRemark(pass_name=self.name, kernel=kernel.name,
+                               phase=kernel.phase, status=status,
+                               loop_var=loop_var, reason=reason,
+                               blockers=blockers)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(vec_var={self.vec_var!r})"
+
+
+# ---------------------------------------------------------------------------
+# Statement rewriting
+# ---------------------------------------------------------------------------
+
+#: a rewrite hook: Loop -> replacement statements, or None to recurse.
+LoopRewrite = Callable[[Loop], Optional[tuple[Stmt, ...]]]
+
+
+def rewrite_loops(stmts: tuple[Stmt, ...], fn: LoopRewrite) -> tuple[Stmt, ...]:
+    """Apply *fn* to every loop, outermost first; a ``None`` result
+    recurses into the loop body, a tuple splices replacement statements
+    in place (and is not re-visited)."""
+    out: list[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Loop):
+            replacement = fn(s)
+            if replacement is not None:
+                out.extend(replacement)
+            else:
+                out.append(s.with_body(rewrite_loops(s.body, fn)))
+        elif isinstance(s, If):
+            from dataclasses import replace
+
+            out.append(replace(s, body=rewrite_loops(s.body, fn)))
+        else:
+            out.append(s)
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Array-granularity read/write sets (the dependence currency of the
+# legality checks; conservative, like the vectorizer's alias rules)
+# ---------------------------------------------------------------------------
+
+
+def _ref_arrays(ref: Ref) -> set[str]:
+    """The stored-to array plus any integer index arrays it gathers
+    through (index arrays are *reads* even on a store)."""
+    return {r.array.name for r in _index_refs(ref)}
+
+
+def stmt_writes(stmts: tuple[Stmt, ...]) -> set[str]:
+    """Names of arrays written anywhere in *stmts*."""
+    out: set[str] = set()
+    for s in stmts:
+        if isinstance(s, Assign):
+            out.add(s.ref.array.name)
+        elif isinstance(s, Loop):
+            out |= stmt_writes(s.body)
+        elif isinstance(s, If):
+            out |= stmt_writes(s.body)
+    return out
+
+
+def stmt_reads(stmts: tuple[Stmt, ...]) -> set[str]:
+    """Names of arrays read anywhere in *stmts* (including index arrays
+    and accumulate targets, which are read-modify-write)."""
+    out: set[str] = set()
+    for s in stmts:
+        if isinstance(s, Assign):
+            for ref in refs_in_expr(s.expr):
+                out.add(ref.array.name)
+            out |= _ref_arrays(s.ref)
+            if s.accumulate:
+                out.add(s.ref.array.name)
+        elif isinstance(s, Loop):
+            out |= stmt_reads(s.body)
+        elif isinstance(s, If):
+            for ref in refs_in_expr(s.cond.lhs):
+                out.add(ref.array.name)
+            for ref in refs_in_expr(s.cond.rhs):
+                out.add(ref.array.name)
+            out |= stmt_reads(s.body)
+    return out
+
+
+def independence_blockers(groups: list[tuple[Stmt, ...]],
+                          code: str) -> list[Blocker]:
+    """Blockers for reordering/distributing *groups* relative to each
+    other: any array one group writes and another touches is a
+    (conservative, array-granularity) dependence."""
+    rw = [(stmt_writes(g), stmt_reads(g)) for g in groups]
+    blockers: list[Blocker] = []
+    for i in range(len(groups)):
+        for j in range(i + 1, len(groups)):
+            w_i, r_i = rw[i]
+            w_j, r_j = rw[j]
+            shared = (w_i & (r_j | w_j)) | (w_j & r_i)
+            if shared:
+                blockers.append(Blocker(
+                    code,
+                    f"statement groups {i} and {j} share written array(s) "
+                    f"{sorted(shared)}; splitting them would reorder "
+                    f"dependent accesses",
+                ))
+    return blockers
+
+
+def contains_control_flow(stmts: tuple[Stmt, ...]) -> bool:
+    """True when an ``If`` appears anywhere in *stmts* (recursively)."""
+    for s in stmts:
+        if isinstance(s, If):
+            return True
+        if isinstance(s, Loop) and contains_control_flow(s.body):
+            return True
+    return False

@@ -1,0 +1,206 @@
+"""The paper's three code transformations as legality-checked IR passes.
+
+* :class:`ConstantTripCount` (**VEC2**): promote ``runtime_dummy`` loop
+  bounds -- dummy arguments the compiler must re-load from memory every
+  iteration, poisoning alias analysis (rule R1) -- to the compile-time
+  parameter ``VECTOR_SIZE``.
+* :class:`LoopInterchange` (**IVEC2**): sink the chunk-element loop
+  (``ivect``, the long dimension) to the innermost position so the
+  vectorizer sees long-trip-count candidates instead of 3/4-iteration
+  copy loops.  Sinking through a multi-statement body distributes the
+  loop, so the legality check includes the distribution dependences.
+* :class:`LoopFission` (**VEC1**): split a loop that mixes
+  data-dependent control flow (which the modelled compiler cannot
+  if-convert) with a straight-line tail into two loops, so the tail
+  becomes a clean vectorization candidate (the paper's WORK A / WORK B
+  split, Algorithms 3/4).
+
+Every pass rewrites *any* kernel exhibiting the pattern -- the phase
+numbers of the mini-app are nowhere in this module; on the mini-app the
+patterns happen to live in phases 2 (VEC2/IVEC2) and 1 (VEC1), which is
+exactly how the passes reproduce the paper's hand refactors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.compiler.analysis import Blocker
+from repro.compiler.ir import Extent, Kernel, Loop, Stmt, walk_loops
+from repro.compiler.transforms.base import (
+    Pass,
+    TransformRemark,
+    contains_control_flow,
+    independence_blockers,
+    rewrite_loops,
+)
+
+#: the parameter name a promoted trip count is bound to (what the VEC2
+#: refactor renames ``VECTOR_DIM`` to in the Fortran source).
+PROMOTED_NAME = "VECTOR_SIZE"
+
+
+class ConstantTripCount(Pass):
+    """VEC2: turn runtime-dummy loop bounds into compile-time parameters."""
+
+    name = "const-trip-count"
+
+    def run(self, kernel: Kernel) -> tuple[Kernel, TransformRemark]:
+        targets = [lp for lp in walk_loops(kernel.body)
+                   if lp.extent.kind == "runtime_dummy"]
+        if not targets:
+            return kernel, self._remark(
+                kernel, "not-applicable",
+                reason="no loop bound is a runtime dummy argument")
+
+        def promote(loop: Loop):
+            if loop.extent.kind != "runtime_dummy":
+                return None  # recurse
+            ext = Extent(loop.extent.value, "param", PROMOTED_NAME)
+            body = rewrite_loops(loop.body, promote)
+            return (replace(loop, extent=ext, body=body),)
+
+        new_body = rewrite_loops(kernel.body, promote)
+        names = ", ".join(
+            f"'{lp.extent.name or lp.var}' (loop '{lp.var}')" for lp in targets)
+        return replace(kernel, body=new_body), self._remark(
+            kernel, "applied", loop_var=targets[0].var,
+            reason=f"trip count {names} promoted to compile-time "
+                   f"parameter {PROMOTED_NAME}")
+
+
+class LoopInterchange(Pass):
+    """IVEC2: sink the chunk-element loop to the innermost position."""
+
+    name = "loop-interchange"
+    requires = (ConstantTripCount,)
+
+    def _target(self, kernel: Kernel) -> Loop | None:
+        """The outermost vec-var loop that still encloses other loops."""
+        for lp in walk_loops(kernel.body):
+            if lp.var == self.vec_var and next(walk_loops(lp.body), None):
+                return lp
+        return None
+
+    def _legality(self, target: Loop) -> list[Blocker]:
+        blockers: list[Blocker] = []
+        if not target.extent.compile_time_known:
+            blockers.append(Blocker(
+                "T1-runtime-trip-count",
+                f"trip count of loop '{target.var}' is a runtime dummy "
+                f"argument; run {ConstantTripCount.name} (VEC2) first",
+            ))
+        if contains_control_flow(target.body):
+            blockers.append(Blocker(
+                "T2-control-flow",
+                f"loop '{target.var}' encloses data-dependent control "
+                f"flow; sinking it would hoist the guard out of the "
+                f"per-element context",
+            ))
+        blockers.extend(self._distribution_blockers(target.body))
+        return blockers
+
+    def _distribution_blockers(self, body: tuple[Stmt, ...]) -> list[Blocker]:
+        """Sinking through a multi-statement body distributes the vec
+        loop over the statements; collect the dependences that forbids,
+        at every nesting level the sink will cross."""
+        blockers: list[Blocker] = []
+        if len(body) > 1:
+            blockers.extend(independence_blockers(
+                [(s,) for s in body], "T3-distribution-dependence"))
+        for s in body:
+            if isinstance(s, Loop):
+                blockers.extend(self._distribution_blockers(s.body))
+        return blockers
+
+    def _sink(self, var: str, extent: Extent,
+              body: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+        """Statements equivalent to ``Loop(var, extent, body)`` with
+        *var* pushed to the innermost position (distributing over
+        multi-statement bodies as needed)."""
+        if not any(isinstance(s, Loop) for s in body):
+            return (Loop(var, extent, body),)
+        out: list[Stmt] = []
+        for s in body:
+            if isinstance(s, Loop):
+                out.append(s.with_body(self._sink(var, extent, s.body)))
+            else:
+                out.append(Loop(var, extent, (s,)))
+        return tuple(out)
+
+    def run(self, kernel: Kernel) -> tuple[Kernel, TransformRemark]:
+        target = self._target(kernel)
+        if target is None:
+            return kernel, self._remark(
+                kernel, "not-applicable",
+                reason=f"no '{self.vec_var}' loop encloses another loop "
+                       f"(already innermost)")
+        blockers = tuple(self._legality(target))
+        if blockers:
+            return kernel, self._remark(
+                kernel, "illegal", loop_var=target.var,
+                reason="; ".join(b.reason for b in blockers),
+                blockers=blockers)
+        inner_vars = [lp.var for lp in walk_loops(target.body)]
+
+        def interchange(loop: Loop):
+            if loop is not target:
+                return None
+            return self._sink(loop.var, loop.extent, loop.body)
+
+        new_body = rewrite_loops(kernel.body, interchange)
+        return replace(kernel, body=new_body), self._remark(
+            kernel, "applied", loop_var=target.var,
+            reason=f"loop '{target.var}' sunk below "
+                   f"{', '.join(repr(v) for v in inner_vars)} "
+                   f"(long dimension now innermost)")
+
+
+class LoopFission(Pass):
+    """VEC1: split a mixed control-flow/straight-line loop in two."""
+
+    name = "loop-fission"
+
+    @staticmethod
+    def _split_point(body: tuple[Stmt, ...]) -> int | None:
+        """Index after the last ``If``, when a straight-line tail
+        follows it; ``None`` when the body is not a mixed candidate."""
+        last_if = max((i for i, s in enumerate(body)
+                       if contains_control_flow((s,))), default=-1)
+        if last_if < 0 or last_if == len(body) - 1:
+            return None
+        return last_if + 1
+
+    def run(self, kernel: Kernel) -> tuple[Kernel, TransformRemark]:
+        target: Loop | None = None
+        for lp in walk_loops(kernel.body):
+            if lp.var == self.vec_var and self._split_point(lp.body) is not None:
+                target = lp
+                break
+        if target is None:
+            return kernel, self._remark(
+                kernel, "not-applicable",
+                reason=f"no '{self.vec_var}' loop mixes control flow "
+                       f"with a straight-line tail")
+        cut = self._split_point(target.body)
+        assert cut is not None
+        head, tail = target.body[:cut], target.body[cut:]
+        blockers = tuple(independence_blockers(
+            [head, tail], "T4-fission-dependence"))
+        if blockers:
+            return kernel, self._remark(
+                kernel, "illegal", loop_var=target.var,
+                reason="; ".join(b.reason for b in blockers),
+                blockers=blockers)
+
+        def fission(loop: Loop):
+            if loop is not target:
+                return None
+            return (replace(loop, body=head), replace(loop, body=tail))
+
+        new_body = rewrite_loops(kernel.body, fission)
+        return replace(kernel, body=new_body), self._remark(
+            kernel, "applied", loop_var=target.var,
+            reason=f"split into a mixed head ({len(head)} stmt(s), kept "
+                   f"scalar) and a straight-line tail ({len(tail)} "
+                   f"stmt(s), now a vectorization candidate)")

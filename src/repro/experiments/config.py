@@ -78,6 +78,10 @@ class RunConfig:
     mesh_dims: tuple[int, int, int] = FULL_MESH
     cache_enabled: bool = True
     field_seed: int = 0
+    #: explicit transformation-pass schedule; ``None`` means "the rung
+    #: ``opt`` maps to" (see ``repro.compiler.transforms.OPT_PASSES``).
+    #: When set, it overrides the rung's pass list.
+    passes: tuple[str, ...] | None = None
 
     @classmethod
     def from_kwargs(cls, mesh: MeshSpec | None = None, **kwargs) -> "RunConfig":
@@ -92,7 +96,10 @@ class RunConfig:
             kwargs["vector_size"] = kwargs.pop("vs")
         if "mesh_dims" in kwargs:
             mesh = kwargs.pop("mesh_dims")
-        known = {"machine", "opt", "vector_size", "cache_enabled", "field_seed"}
+        if kwargs.get("passes") is not None:
+            kwargs["passes"] = tuple(kwargs["passes"])
+        known = {"machine", "opt", "vector_size", "cache_enabled",
+                 "field_seed", "passes"}
         unknown = set(kwargs) - known
         if unknown:
             raise TypeError(f"unknown RunConfig argument(s): {sorted(unknown)}")
@@ -101,8 +108,11 @@ class RunConfig:
     def key(self) -> str:
         """Stable cache key."""
         nx, ny, nz = self.mesh_dims
-        return (
+        key = (
             f"{self.machine}-{self.opt}-vs{self.vector_size}"
             f"-mesh{nx}x{ny}x{nz}-cache{int(self.cache_enabled)}"
             f"-seed{self.field_seed}"
         )
+        if self.passes is not None:
+            key += f"-passes[{','.join(self.passes)}]"
+        return key

@@ -68,7 +68,7 @@ from repro.obs.tracer import active as _obs_active
 
 #: bump when the timing model OR the cache payload schema changes so
 #: stale disk caches are ignored (see EXPERIMENTS.md, "cache versioning").
-MODEL_VERSION = "4"
+MODEL_VERSION = "5"
 
 #: optimization ladder rungs exercised by the standard sweep (paper order).
 _SWEEP_OPTS: tuple[str, ...] = ("vanilla", "vec2", "ivec2", "vec1")
@@ -342,7 +342,7 @@ def build_miniapp(cfg: RunConfig):
     from repro.cfd.mesh import box_mesh
 
     return MiniApp(box_mesh(*cfg.mesh_dims), cfg.vector_size, cfg.opt,
-                   field_seed=cfg.field_seed)
+                   field_seed=cfg.field_seed, passes=cfg.passes)
 
 
 def simulate_run(cfg: RunConfig) -> RunCounters:

@@ -65,6 +65,34 @@ def inject_cache_miss_drift(cache, delta: int) -> None:
     cache.misses += delta
 
 
+def mislegalize_trip_count(kernels: list, delta: int = -1) -> list:
+    """Tamper with pass-promoted trip counts (a mis-legalized
+    transformation).
+
+    Models a :class:`~repro.compiler.transforms.ConstantTripCount` bug:
+    the promoted compile-time bound is off by ``delta``, so every loop
+    the pass legalized runs the wrong number of iterations (``-1``:
+    the last chunk element is never gathered).  Handed to
+    ``golden_check(mutate=...)``, which must *detect* the semantic
+    change and pin it to the first phase that consumes the bound.
+    """
+    from dataclasses import replace
+
+    from repro.compiler.ir import Extent
+    from repro.compiler.transforms.base import rewrite_loops
+    from repro.compiler.transforms.passes import PROMOTED_NAME
+
+    def tamper(loop):
+        if loop.extent.kind == "param" and loop.extent.name == PROMOTED_NAME:
+            ext = Extent(max(loop.extent.value + delta, 1), "param",
+                         PROMOTED_NAME)
+            return (replace(loop, extent=ext,
+                            body=rewrite_loops(loop.body, tamper)),)
+        return None
+
+    return [replace(k, body=rewrite_loops(k.body, tamper)) for k in kernels]
+
+
 # ---------------------------------------------------------------------------
 # Faulty sweep workers
 # ---------------------------------------------------------------------------

@@ -26,6 +26,18 @@ WORKER_FAULT_KINDS: tuple[str, ...] = (
     "torn_cache",        # a .repro_cache entry truncated mid-sweep
 )
 
+#: pass-layer fault kinds (ROADMAP follow-up "mis-legalized
+#: vectorization"): injected through ``golden_check(mutate=...)`` into
+#: the transformation-pass output rather than through sweep workers.
+#: Only ``mislegalized_trip_count`` is implemented so far (see
+#: :func:`repro.faults.injector.mislegalize_trip_count`); the listed
+#: kinds are the planned vocabulary.
+PASS_FAULT_KINDS: tuple[str, ...] = (
+    "mislegalized_trip_count",   # promoted loop bound off by one
+    "mislegalized_interchange",  # loop sunk past a real dependence (stub)
+    "mislegalized_fission",      # loop split across a dependence (stub)
+)
+
 
 @dataclass(frozen=True)
 class FaultSpec:

@@ -31,6 +31,10 @@ from repro.obs.tracer import SIM, WALL, Tracer
 
 PID_SIM = 1
 PID_WALL = 2
+#: the transformation pass pipeline: deterministic ordinal timestamps
+#: (pass application order), so the compile stage shows up in the trace
+#: without breaking byte-identical re-runs the way wall clocks would.
+PID_COMPILE = 3
 
 
 def _args(pairs: tuple) -> dict:
@@ -57,7 +61,31 @@ def to_events(tracer: Tracer, include_wall: bool = False) -> list[dict]:
             _meta(PID_WALL, 1, "thread_name", "spans"),
         ]
 
+    # the compile stage: pass spans + transform-remark events on their
+    # own ordinal-time track (one tick per pass application).
+    comp_spans = [s for s in tracer.spans if s.cat == "pass"]
+    comp_points = [p for p in tracer.points if p.cat == "pass"]
+    if comp_spans or comp_points:
+        events += [
+            _meta(PID_COMPILE, None, "process_name",
+                  "compile pipeline (ordinal)"),
+            _meta(PID_COMPILE, 1, "thread_name", "passes"),
+        ]
+        for i, s in enumerate(comp_spans):
+            ev = {"ph": "X", "name": s.name, "cat": s.cat,
+                  "pid": PID_COMPILE, "tid": 1, "ts": i, "dur": 1,
+                  "args": _args(s.args)}
+            if s.phase is not None:
+                ev["args"]["phase"] = s.phase
+            events.append(ev)
+        for i, p in enumerate(comp_points):
+            events.append({"ph": "i", "name": p.name, "cat": p.cat,
+                           "pid": PID_COMPILE, "tid": 1, "ts": i, "s": "t",
+                           "args": _args(p.args)})
+
     for s in tracer.spans:
+        if s.cat == "pass":
+            continue  # exported above, on the ordinal compile track
         if s.domain == SIM:
             pid, tid, ts, dur = PID_SIM, 1, s.t0, s.dur
         elif include_wall:
@@ -85,7 +113,7 @@ def to_events(tracer: Tracer, include_wall: bool = False) -> list[dict]:
 
     if include_wall:
         for p in tracer.points:
-            if p.domain != WALL:
+            if p.domain != WALL or p.cat == "pass":
                 continue
             events.append({"ph": "i", "name": p.name, "cat": p.cat,
                            "pid": PID_WALL, "tid": 1, "ts": p.t * 1e6,

@@ -28,6 +28,7 @@ from repro.cfd.assembly import MiniApp
 from repro.cfd.mesh import box_mesh
 from repro.cfd.reference import PHASE_OUTPUTS, REF_PHASES
 from repro.compiler.interpreter import Interpreter
+from repro.compiler.ir import Kernel
 
 #: default probe: 12 elements; VECTOR_SIZE=8 pads the tail chunk, so the
 #: padding path is validated too (mirrors tests/cfd/test_semantics.py).
@@ -37,6 +38,12 @@ PROBE_VECTOR_SIZE = 8
 #: corruption hook: (instance, phase_id, chunk_index) -> None, called
 #: after the interpreter ran the phase and before the cross-check.
 CorruptHook = Callable[[object, int, int], None]
+
+#: kernel-mutation hook: kernels -> kernels, applied before
+#: interpretation (the chaos harness's entry point for mis-legalized
+#: transformation faults: a pass product is tampered with and the
+#: golden check must catch the semantic change).
+MutateHook = Callable[[list[Kernel]], list[Kernel]]
 
 
 @dataclass
@@ -51,6 +58,9 @@ class GoldenReport:
     #: worst absolute deviation seen per phase (diagnostics).
     max_abs_error: dict[int, float] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
+    #: pipeline stages validated (``transformed=True`` mode): each entry
+    #: is the pass list of one validated prefix, shortest first.
+    stages: list[tuple[str, ...]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -65,30 +75,16 @@ class GoldenReport:
             "violations": list(self.violations),
             "max_abs_error": {str(p): e for p, e in
                               sorted(self.max_abs_error.items())},
+            "stages": [list(s) for s in self.stages],
         }
 
 
-def golden_check(opt: str,
-                 vector_size: int = PROBE_VECTOR_SIZE,
-                 mesh_dims: tuple[int, int, int] = PROBE_MESH,
-                 *,
-                 field_seed: int = 0,
-                 rtol: float = 1e-9,
-                 atol: float = 1e-12,
-                 max_violations: int = 20,
-                 corrupt: Optional[CorruptHook] = None) -> GoldenReport:
-    """Cross-check one optimization rung against the golden reference.
-
-    Runs the interpreted IR kernels and the NumPy reference side by side
-    over every chunk of a probe mesh, comparing each phase's output
-    arrays (see :data:`repro.cfd.reference.PHASE_OUTPUTS`) after the
-    phase executes.  Both sides start from byte-identical field data, so
-    agreement is expected to machine precision.
-    """
-    report = GoldenReport(opt=opt, vector_size=vector_size,
-                          mesh_dims=tuple(mesh_dims), rtol=rtol, atol=atol)
-    app = MiniApp(box_mesh(*mesh_dims), vector_size, opt,
-                  field_seed=field_seed)
+def _check_kernels(report: GoldenReport, app: MiniApp,
+                   kernels: list[Kernel], *, stage: str = "",
+                   max_violations: int = 20,
+                   corrupt: Optional[CorruptHook] = None) -> None:
+    """Interpret *kernels* against the NumPy reference on *app*'s probe
+    mesh, appending violations (labelled *stage*) to *report*."""
     ctx = app.context
 
     # Interpreter side: globals bound by reference into each instance.
@@ -103,6 +99,7 @@ def golden_check(opt: str,
         "kfl_sgs": ctx.kfl_sgs, "elpos": app.elpos,
     }
     local_arrays = [a for a in ctx.arrays.values() if a.scope == "local"]
+    where = f"stage {stage} " if stage else ""
 
     for chunk in app.chunks:
         inst = ctx.instance_for_chunk(chunk, with_data=True,
@@ -111,7 +108,7 @@ def golden_check(opt: str,
         for arr in local_arrays:
             ref_data[arr.name] = np.zeros(arr.shape)
         interp = Interpreter(inst, ctx.params)
-        for kern in app.kernels:
+        for kern in kernels:
             phase = kern.phase
             interp.run(kern)
             if corrupt is not None:
@@ -124,11 +121,62 @@ def golden_check(opt: str,
                 err = float(diff.max()) if diff.size else 0.0
                 report.max_abs_error[phase] = max(
                     report.max_abs_error.get(phase, 0.0), err)
-                bad = ~np.isclose(got, want, rtol=rtol, atol=atol,
-                                  equal_nan=False)
+                bad = ~np.isclose(got, want, rtol=report.rtol,
+                                  atol=report.atol, equal_nan=False)
                 if bad.any() and len(report.violations) < max_violations:
                     report.violations.append(
-                        f"chunk {chunk.index} phase {phase} {name!r}: "
-                        f"{int(bad.sum())} element(s) deviate, max abs "
-                        f"error {err:.3e}")
+                        f"{where}chunk {chunk.index} phase {phase} "
+                        f"{name!r}: {int(bad.sum())} element(s) deviate, "
+                        f"max abs error {err:.3e}")
+
+
+def golden_check(opt: str,
+                 vector_size: int = PROBE_VECTOR_SIZE,
+                 mesh_dims: tuple[int, int, int] = PROBE_MESH,
+                 *,
+                 field_seed: int = 0,
+                 rtol: float = 1e-9,
+                 atol: float = 1e-12,
+                 max_violations: int = 20,
+                 corrupt: Optional[CorruptHook] = None,
+                 transformed: bool = False,
+                 mutate: Optional[MutateHook] = None) -> GoldenReport:
+    """Cross-check one optimization rung against the golden reference.
+
+    Runs the interpreted IR kernels and the NumPy reference side by side
+    over every chunk of a probe mesh, comparing each phase's output
+    arrays (see :data:`repro.cfd.reference.PHASE_OUTPUTS`) after the
+    phase executes.  Both sides start from byte-identical field data, so
+    agreement is expected to machine precision.
+
+    With ``transformed=True``, every *prefix* of the rung's pass
+    pipeline is validated separately -- the baseline kernels, then the
+    kernels after each pass in turn -- so a mis-legalized transformation
+    is pinned to the pass that introduced it, not just to the rung.
+    ``mutate`` rewrites the (final-stage) kernel list before
+    interpretation; the chaos harness uses it to prove tampered pass
+    output is *detected*.
+    """
+    report = GoldenReport(opt=opt, vector_size=vector_size,
+                          mesh_dims=tuple(mesh_dims), rtol=rtol, atol=atol)
+    app = MiniApp(box_mesh(*mesh_dims), vector_size, opt,
+                  field_seed=field_seed)
+
+    if transformed:
+        for prefix in app.pipeline.prefixes():
+            kernels, _ = prefix.run_all(app.baseline_kernels)
+            names = prefix.pass_names
+            if mutate is not None and len(names) == len(app.pipeline):
+                kernels = mutate(list(kernels))
+            report.stages.append(names)
+            _check_kernels(report, app, list(kernels),
+                           stage=f"[{' -> '.join(names) or 'baseline'}]",
+                           max_violations=max_violations, corrupt=corrupt)
+        return report
+
+    kernels = list(app.kernels)
+    if mutate is not None:
+        kernels = mutate(kernels)
+    _check_kernels(report, app, kernels, max_violations=max_violations,
+                   corrupt=corrupt)
     return report

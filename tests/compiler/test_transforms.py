@@ -1,0 +1,182 @@
+"""The transformation passes: rewrites, legality, pipeline plumbing."""
+
+import pytest
+
+from repro.cfd.csr import build_pattern
+from repro.cfd.kernel_context import MiniAppContext
+from repro.cfd.mesh import box_mesh
+from repro.cfd.phases import build_baseline_kernels
+from repro.compiler.ir import Loop, walk_loops
+from repro.compiler.transforms import (
+    OPT_PASSES,
+    PASS_REGISTRY,
+    ConstantTripCount,
+    LoopFission,
+    LoopInterchange,
+    PassPipeline,
+    PipelineError,
+    opt_for_passes,
+    pipeline_for_opt,
+    pipeline_from_names,
+)
+
+VS = 16
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    mesh = box_mesh(4, 4, 4)
+    ctx = MiniAppContext(mesh, VS, nnz=build_pattern(mesh).nnz)
+    return {k.phase: k for k in build_baseline_kernels(ctx.arrays, VS)}
+
+
+# ---------------------------------------------------------------------------
+# ConstantTripCount (VEC2)
+# ---------------------------------------------------------------------------
+
+
+def test_const_trip_count_promotes_phase2_dummy(kernels):
+    out, remark = ConstantTripCount().run(kernels[2])
+    assert remark.status == "applied"
+    assert "VECTOR_SIZE" in remark.reason
+    exts = [lp.extent for lp in walk_loops(out.body) if lp.var == "ivect"]
+    assert exts and all(e.kind == "param" and e.name == "VECTOR_SIZE"
+                        for e in exts)
+    assert all(e.value == VS for e in exts)
+
+
+def test_const_trip_count_not_applicable_without_dummy(kernels):
+    out, remark = ConstantTripCount().run(kernels[3])
+    assert remark.status == "not-applicable"
+    assert out == kernels[3]  # unchanged, exact dataclass equality
+
+
+# ---------------------------------------------------------------------------
+# LoopInterchange (IVEC2)
+# ---------------------------------------------------------------------------
+
+
+def test_interchange_sinks_ivect_innermost(kernels):
+    promoted, _ = ConstantTripCount().run(kernels[2])
+    out, remark = LoopInterchange().run(promoted)
+    assert remark.status == "applied"
+    for lp in walk_loops(out.body):
+        if lp.var == "ivect":
+            assert not any(isinstance(s, Loop) for s in lp.body), \
+                "ivect loop still encloses another loop"
+    # sinking through the 3-statement inode body distributes it.
+    assert sum(1 for lp in walk_loops(out.body) if lp.var == "ivect") == 3
+
+
+def test_interchange_illegal_without_const_bound(kernels):
+    out, remark = LoopInterchange().run(kernels[2])
+    assert remark.status == "illegal"
+    assert any(b.code == "T1-runtime-trip-count" for b in remark.blockers)
+    assert out == kernels[2]
+
+
+def test_interchange_illegal_on_control_flow(kernels):
+    out, remark = LoopInterchange().run(kernels[8])
+    assert remark.status == "illegal"
+    assert any(b.code == "T2-control-flow" for b in remark.blockers)
+    assert out == kernels[8]
+
+
+def test_interchange_not_applicable_when_already_innermost(kernels):
+    _, remark = LoopInterchange().run(kernels[4])
+    assert remark.status == "not-applicable"
+
+
+# ---------------------------------------------------------------------------
+# LoopFission (VEC1)
+# ---------------------------------------------------------------------------
+
+
+def test_fission_splits_phase1_after_last_if(kernels):
+    out, remark = LoopFission().run(kernels[1])
+    assert remark.status == "applied"
+    tops = [s for s in out.body if isinstance(s, Loop) and s.var == "ivect"]
+    assert len(tops) == 2
+    head, tail = tops
+    from repro.compiler.transforms.base import contains_control_flow
+
+    assert contains_control_flow(head.body)
+    assert not contains_control_flow(tail.body)
+
+
+def test_fission_not_applicable_on_straight_line_kernels(kernels):
+    for phase in (3, 4, 6, 7):
+        out, remark = LoopFission().run(kernels[phase])
+        assert remark.status == "not-applicable"
+        assert out == kernels[phase]
+
+
+# ---------------------------------------------------------------------------
+# Pipeline plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_interchange_requires_const_trip_count():
+    with pytest.raises(PipelineError) as exc:
+        PassPipeline([LoopInterchange()])
+    msg = str(exc.value)
+    assert "loop-interchange" in msg and "const-trip-count" in msg
+
+
+def test_pipeline_from_names_rejects_unknown():
+    with pytest.raises(PipelineError, match="unknown pass"):
+        pipeline_from_names(("warp-drive",))
+
+
+def test_opt_rung_pass_lists_are_cumulative():
+    assert OPT_PASSES["scalar"] == OPT_PASSES["vanilla"] == ()
+    assert OPT_PASSES["vec2"] == ("const-trip-count",)
+    assert OPT_PASSES["ivec2"] == ("const-trip-count", "loop-interchange")
+    assert OPT_PASSES["vec1"] == ("const-trip-count", "loop-interchange",
+                                  "loop-fission")
+    for opt, names in OPT_PASSES.items():
+        assert pipeline_for_opt(opt).pass_names == names
+
+
+def test_pipeline_for_opt_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown optimization level"):
+        pipeline_for_opt("turbo")
+
+
+def test_opt_for_passes_roundtrip():
+    for opt in ("vanilla", "vec2", "ivec2", "vec1"):
+        assert opt_for_passes(OPT_PASSES[opt]) == opt
+    assert opt_for_passes(("loop-fission",)) is None
+
+
+def test_registry_names_match_classes():
+    assert set(PASS_REGISTRY) == {"const-trip-count", "loop-interchange",
+                                  "loop-fission"}
+    for name, cls in PASS_REGISTRY.items():
+        assert cls.name == name
+
+
+def test_prefixes_shortest_first():
+    pipe = pipeline_for_opt("vec1")
+    names = [p.pass_names for p in pipe.prefixes()]
+    assert names == [(), ("const-trip-count",),
+                     ("const-trip-count", "loop-interchange"),
+                     ("const-trip-count", "loop-interchange",
+                      "loop-fission")]
+
+
+def test_run_all_collects_remarks_per_kernel(kernels):
+    pipe = pipeline_for_opt("vec1")
+    out, remarks = pipe.run_all([kernels[p] for p in sorted(kernels)])
+    assert len(out) == 8
+    assert len(remarks) == 8 * 3
+    applied = [(r.phase, r.pass_name) for r in remarks
+               if r.status == "applied"]
+    assert applied == [(1, "loop-fission"), (2, "const-trip-count"),
+                       (2, "loop-interchange")]
+
+
+def test_passes_never_mutate_input(kernels):
+    before = {p: k for p, k in kernels.items()}
+    pipeline_for_opt("vec1").run_all(list(kernels.values()))
+    assert kernels == before

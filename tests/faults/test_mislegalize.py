@@ -1,0 +1,52 @@
+"""Mis-legalized vectorization faults: tampered pass output is detected.
+
+ROADMAP follow-up to the chaos harness: faults injected into the
+*transformation pass layer* (wrong IR out of a pass) rather than into
+workers or payloads.  The golden check's ``mutate`` hook is the
+injection point; detection means the semantic change is caught and
+pinned to the first phase that consumes the bad IR.
+"""
+
+from repro.faults.injector import mislegalize_trip_count
+from repro.faults.plan import PASS_FAULT_KINDS, WORKER_FAULT_KINDS
+from repro.validation.golden import golden_check
+
+
+def test_pass_fault_kinds_are_a_separate_vocabulary():
+    assert "mislegalized_trip_count" in PASS_FAULT_KINDS
+    assert not set(PASS_FAULT_KINDS) & set(WORKER_FAULT_KINDS)
+
+
+def test_mislegalized_trip_count_rewrites_promoted_bounds():
+    from repro.cfd.csr import build_pattern
+    from repro.cfd.kernel_context import MiniAppContext
+    from repro.cfd.mesh import box_mesh
+    from repro.cfd.phases import build_baseline_kernels
+    from repro.compiler.ir import walk_loops
+    from repro.compiler.transforms import pipeline_for_opt
+
+    mesh = box_mesh(3, 2, 2)
+    ctx = MiniAppContext(mesh, 8, nnz=build_pattern(mesh).nnz)
+    kernels, _ = pipeline_for_opt("vec2").run_all(
+        build_baseline_kernels(ctx.arrays, 8))
+    bad = mislegalize_trip_count(kernels, delta=-1)
+    originals = [lp.extent.value for k in kernels
+                 for lp in walk_loops(k.body)
+                 if lp.extent.name == "VECTOR_SIZE"]
+    tampered = [lp.extent.value for k in bad for lp in walk_loops(k.body)
+                if lp.extent.name == "VECTOR_SIZE"]
+    assert originals and all(v == 8 for v in originals)
+    assert len(tampered) == len(originals)
+    assert all(v == 7 for v in tampered)
+
+
+def test_golden_check_detects_mislegalized_trip_count():
+    report = golden_check("vec2", mutate=mislegalize_trip_count)
+    assert not report.ok
+    # the missing last chunk element surfaces in the very first phase
+    # that loops over the promoted bound.
+    assert any("phase 1" in v for v in report.violations)
+
+
+def test_golden_check_clean_without_mutation():
+    assert golden_check("vec2", mutate=lambda ks: ks).ok

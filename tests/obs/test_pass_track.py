@@ -1,0 +1,66 @@
+"""Pass-pipeline observability: spans, remark events, chrome track."""
+
+from repro import obs
+from repro.cfd.assembly import MiniApp
+from repro.cfd.mesh import box_mesh
+from repro.obs import chrome
+
+
+def _traced_build(opt="ivec2"):
+    tracer = obs.Tracer()
+    with obs.use(tracer):
+        MiniApp(box_mesh(3, 2, 2), 8, opt)
+    return tracer
+
+
+def test_pass_spans_stamped_during_compilation():
+    tracer = _traced_build()
+    spans = [s for s in tracer.spans if s.cat == "pass"]
+    # 8 kernels x 2 passes for ivec2.
+    assert len(spans) == 16
+    assert {s.name for s in spans} == {"pass const-trip-count",
+                                       "pass loop-interchange"}
+    assert all(s.phase in range(1, 9) for s in spans)
+
+
+def test_remark_events_carry_the_decision():
+    tracer = _traced_build()
+    remarks = [p for p in tracer.points if p.cat == "pass"]
+    assert len(remarks) == 16
+    by_status = {}
+    for p in remarks:
+        args = dict(p.args)
+        by_status.setdefault(args["status"], []).append(args)
+    assert any(a["phase"] == 2 for a in by_status["applied"])
+    assert len(by_status["applied"]) == 2
+
+
+def test_no_tracer_no_records():
+    tracer = obs.Tracer()
+    MiniApp(box_mesh(3, 2, 2), 8, "ivec2")  # built outside any context
+    assert not tracer.spans and not tracer.points
+
+
+def test_chrome_export_has_ordinal_compile_track():
+    tracer = _traced_build()
+    events = chrome.to_events(tracer)
+    comp = [e for e in events if e.get("pid") == chrome.PID_COMPILE]
+    spans = [e for e in comp if e.get("ph") == "X"]
+    instants = [e for e in comp if e.get("ph") == "i"]
+    assert len(spans) == 16 and len(instants) == 16
+    # ordinal timestamps: deterministic across hosts and re-runs.
+    assert [e["ts"] for e in spans] == list(range(16))
+    assert all(e["cat"] == "pass" for e in spans + instants)
+
+
+def test_chrome_export_deterministic_with_pass_track():
+    a = chrome.dumps(_traced_build())
+    b = chrome.dumps(_traced_build())
+    assert a == b
+
+
+def test_wall_export_does_not_duplicate_pass_records():
+    tracer = _traced_build()
+    events = chrome.to_events(tracer, include_wall=True)
+    passes = [e for e in events if e.get("cat") == "pass"]
+    assert all(e["pid"] == chrome.PID_COMPILE for e in passes)

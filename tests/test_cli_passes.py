@@ -1,0 +1,54 @@
+"""The ``repro passes`` subcommand and chaos ``--validate`` wiring."""
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_passes_ivec2_shows_before_after_ir(capsys):
+    code, out = run_cli(capsys, "passes", "--preset", "tiny",
+                        "--opt", "ivec2")
+    assert code == 0
+    assert "const-trip-count" in out and "loop-interchange" in out
+    assert "-- before:" in out and "-- after:" in out
+    # the promoted bound and the sunk loop are visible in the IR dump.
+    assert "VECTOR_DIM[runtime dummy=240]" in out
+    assert "VECTOR_SIZE[param=240]" in out
+    assert out.index("do ivect") < out.index("do inode")
+
+
+def test_passes_vec1_reports_illegal_interchange_on_phase8(capsys):
+    code, out = run_cli(capsys, "passes", "--preset", "tiny",
+                        "--opt", "vec1")
+    assert code == 0
+    assert "loop-fission]: applied" in out
+    assert "illegal" in out and "control flow" in out
+
+
+def test_passes_scalar_has_empty_pipeline(capsys):
+    code, out = run_cli(capsys, "passes", "--preset", "tiny",
+                        "--opt", "scalar")
+    assert code == 0
+    assert "(empty)" in out
+
+
+def test_passes_full_prints_expressions(capsys):
+    _, elided = run_cli(capsys, "passes", "--preset", "tiny",
+                        "--opt", "vec2")
+    _, full = run_cli(capsys, "passes", "--preset", "tiny",
+                      "--opt", "vec2", "--full")
+    assert "= ..." in elided
+    assert "lnods" in full and "= ..." not in full
+
+
+def test_trace_prints_transform_pipeline(capsys, tmp_path):
+    code, out = run_cli(capsys, "trace", "--preset", "tiny",
+                        "--opt", "ivec2",
+                        "-o", str(tmp_path / "t.prv"))
+    assert code == 0
+    assert "transform pipeline" in out
+    assert "[const-trip-count] applied" in out
