@@ -157,10 +157,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "fault-plan.json")
     p.add_argument("-v", "--verbose", action="store_true",
                    help="log each stage to stderr")
+    p.add_argument("--pass-faults", action="store_true",
+                   help="also arm the compiler-model faults: one sweep "
+                        "per mis-legalized pass kind, classified like "
+                        "worker faults (detection via the per-phase "
+                        "output digest ladder)")
     p.add_argument("--validate", action="store_true",
                    help="additionally golden-check every pipeline stage "
-                        "of every rung (transformed mode) and prove a "
-                        "mis-legalized trip count is detected")
+                        "of every rung (transformed mode) and prove "
+                        "every implemented pass-fault kind is detected")
 
     p = sub.add_parser("bench", help="time the sweep executor (serial vs "
                                      "parallel) and write a JSON report")
@@ -349,7 +354,8 @@ def _cmd_chaos(args) -> int:
     jobs = max(2, _jobs(args))  # kill/hang stages need a real pool
     rep = run_chaos_campaign(seed=args.seed, mesh=args.mesh,
                              out_dir=args.output, jobs=jobs,
-                             verbose=args.verbose)
+                             verbose=args.verbose,
+                             pass_faults=args.pass_faults)
     rows = [["stage", "fault", "target", "outcome"]]
     for st in rep.stages:
         rows.append([st.name, st.kind, st.target or "-", st.classification])
@@ -364,7 +370,8 @@ def _cmd_chaos(args) -> int:
               file=sys.stderr, flush=True)
         return 1
     if args.validate:
-        from repro.faults.injector import mislegalize_trip_count
+        from repro.faults.injector import pass_fault_mutator
+        from repro.faults.plan import PASS_FAULT_KINDS, PASS_FAULT_RUNGS
         from repro.validation.golden import golden_check
 
         vrows = [["rung", "pipeline stages", "outcome"]]
@@ -374,12 +381,18 @@ def _cmd_chaos(args) -> int:
             stages_ok &= g.ok
             vrows.append([rung, str(len(g.stages)),
                           "ok" if g.ok else "FAIL"])
-        bad = golden_check("vec2", mutate=mislegalize_trip_count)
-        vrows.append(["vec2 + mislegalized trip count", "fault drill",
-                      "detected" if not bad.ok else "SILENT"])
+        # every kind in the vocabulary is drilled; a listed-but-stubbed
+        # kind raises in pass_fault_mutator instead of being skipped.
+        drills_ok = True
+        for kind in PASS_FAULT_KINDS:
+            rung = PASS_FAULT_RUNGS[kind]
+            bad = golden_check(rung, mutate=pass_fault_mutator(kind))
+            drills_ok &= not bad.ok
+            vrows.append([f"{rung} + {kind}", "fault drill",
+                          "detected" if not bad.ok else "SILENT"])
         print()
         print(report.format_table(vrows))
-        if not stages_ok or bad.ok:
+        if not stages_ok or not drills_ok:
             print("FAIL: pass-pipeline golden validation",
                   file=sys.stderr, flush=True)
             return 1

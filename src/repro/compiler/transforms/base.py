@@ -12,11 +12,26 @@ of the code being compiled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, ClassVar, Optional
 
 from repro.compiler.analysis import Blocker, _index_refs, refs_in_expr
-from repro.compiler.ir import Assign, If, Kernel, Loop, Ref, Stmt
+from repro.compiler.ir import (
+    Affine,
+    Assign,
+    BinOp,
+    Cond,
+    Expr,
+    If,
+    IndexExpr,
+    Indirect,
+    Kernel,
+    Load,
+    Loop,
+    Ref,
+    Stmt,
+    Unary,
+)
 
 
 @dataclass(frozen=True)
@@ -104,6 +119,45 @@ def rewrite_loops(stmts: tuple[Stmt, ...], fn: LoopRewrite) -> tuple[Stmt, ...]:
         else:
             out.append(s)
     return tuple(out)
+
+
+def pin_var_in_index(e: IndexExpr, var: str) -> IndexExpr:
+    """*e* with loop variable *var* pinned to iteration 0 (loop vars are
+    zero-based, so pinning just drops the affine term)."""
+    if isinstance(e, Affine):
+        terms = tuple((v, c) for v, c in e.terms if v != var)
+        return Affine(terms, e.const) if terms != e.terms else e
+    if isinstance(e, Indirect):
+        return replace(e, idx=tuple(pin_var_in_index(i, var) for i in e.idx))
+    return e
+
+
+def pin_var_in_expr(e: Expr, var: str) -> Expr:
+    """*e* with every occurrence of loop variable *var* pinned to
+    iteration 0.
+
+    This models a compiler wrongly treating a value as loop-invariant:
+    the expression is evaluated once, for the first lane, instead of per
+    iteration.  The chaos fault model uses it to build the
+    ``mislegalized_interchange`` injector (a hoisted guard frozen to
+    lane 0); it has no legitimate role in the legal passes.
+    """
+    if isinstance(e, Load):
+        return Load(Ref(e.ref.array,
+                        tuple(pin_var_in_index(i, var) for i in e.ref.idx)))
+    if isinstance(e, BinOp):
+        return replace(e, lhs=pin_var_in_expr(e.lhs, var),
+                       rhs=pin_var_in_expr(e.rhs, var))
+    if isinstance(e, Unary):
+        return replace(e, x=pin_var_in_expr(e.x, var))
+    return e
+
+
+def pin_var_in_cond(cond: Cond, var: str) -> Cond:
+    """*cond* with loop variable *var* pinned to iteration 0 on both
+    sides (see :func:`pin_var_in_expr`)."""
+    return Cond(cond.op, pin_var_in_expr(cond.lhs, var),
+                pin_var_in_expr(cond.rhs, var))
 
 
 # ---------------------------------------------------------------------------

@@ -10,13 +10,24 @@ into an artifact.  Everything is derived from one integer seed, so a
 failing campaign replays exactly (see ``repro chaos --seed N``).
 """
 
-from repro.faults.plan import WORKER_FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.plan import (
+    PASS_FAULT_KINDS,
+    PASS_FAULT_RUNGS,
+    WORKER_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.faults.injector import (
     FaultyWorker,
     InterruptingWorker,
+    PassFaultyWorker,
     flip_float64_bit,
     inject_cache_miss_drift,
     inject_vreg_nan,
+    mislegalize_fission,
+    mislegalize_interchange,
+    mislegalize_trip_count,
+    pass_fault_mutator,
 )
 from repro.faults.chaos import ChaosReport, StageReport, run_chaos_campaign
 
@@ -26,10 +37,17 @@ __all__ = [
     "FaultSpec",
     "FaultyWorker",
     "InterruptingWorker",
+    "PASS_FAULT_KINDS",
+    "PASS_FAULT_RUNGS",
+    "PassFaultyWorker",
     "StageReport",
     "WORKER_FAULT_KINDS",
     "flip_float64_bit",
     "inject_cache_miss_drift",
     "inject_vreg_nan",
+    "mislegalize_fission",
+    "mislegalize_interchange",
+    "mislegalize_trip_count",
+    "pass_fault_mutator",
     "run_chaos_campaign",
 ]

@@ -20,10 +20,18 @@ the :class:`~repro.faults.plan.FaultPlan`, and classifies the outcome:
 Alongside the sweep stages, targeted drills corrupt in-memory state
 directly (emulator vector registers, cache accounting, a phase array
 between kernel and golden reference) to exercise the validators the
-sweep path cannot reach.  Everything — fault plan, strike points,
-backoff jitter — derives from one integer seed, and the report contains
-no timestamps or wall-clock times, so two same-seed campaigns produce
-byte-identical reports.
+sweep path cannot reach.  With ``pass_faults=True`` the campaign also
+arms the *compiler-model* faults: one sweep per
+:data:`~repro.faults.plan.PASS_FAULT_KINDS`, where a
+:class:`~repro.faults.injector.PassFaultyWorker` simulates the seeded
+target from kernels tampered by a mis-legalized transformation pass.
+These faults conserve FLOPs by construction, so detection rests on the
+per-phase golden output digest ladder
+(:func:`~repro.validation.invariants.check_phase_digest_ladder`) plus
+the ``golden_check(mutate=...)`` drill.  Everything — fault plan, strike
+points, backoff jitter — derives from one integer seed, and the report
+contains no timestamps or wall-clock times, so two same-seed campaigns
+produce byte-identical reports.
 """
 
 from __future__ import annotations
@@ -109,6 +117,33 @@ class ChaosReport:
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
 
+    def to_markdown(self) -> str:
+        """GitHub-flavored classification table (the CI job summary)."""
+        lines = [
+            f"### Chaos campaign — seed {self.seed}, "
+            f"mesh {'x'.join(str(d) for d in self.mesh_dims)}, "
+            f"{self.plan_size} runs/sweep",
+            "",
+            "| stage | fault | target | outcome |",
+            "| --- | --- | --- | --- |",
+        ]
+        for st in self.stages:
+            badge = {"silent": "**SILENT**", "detected": "detected",
+                     "recovered": "recovered", "clean": "clean"}.get(
+                         st.classification, st.classification)
+            lines.append(f"| {st.name} | {st.kind} | {st.target or '-'} "
+                         f"| {badge} |")
+        c = self.counts
+        lines += [
+            "",
+            f"**{c[RECOVERED]} recovered · {c[DETECTED]} detected · "
+            f"{c[CLEAN]} clean · {c[SILENT]} silent** — "
+            + ("campaign ok" if self.ok
+               else "FAIL: fault(s) silently absorbed"),
+            "",
+        ]
+        return "\n".join(lines)
+
 
 def _fault_event_kinds(events: list[RunEvent], key: str) -> set[str]:
     """Event kinds that constitute evidence of a noticed fault."""
@@ -129,17 +164,23 @@ def run_chaos_campaign(seed: int = 0,
                        out_dir: str | os.PathLike | None = None,
                        jobs: int = 2,
                        timeout_s: float = 2.0,
-                       verbose: bool = False) -> ChaosReport:
+                       verbose: bool = False,
+                       pass_faults: bool = False) -> ChaosReport:
     """Run the full seeded campaign; see the module docstring.
 
-    When *out_dir* is given the report is written there as
-    ``chaos-report.json``.  All scratch state (caches, journals, strike
-    markers) lives in a temporary directory and is removed afterwards.
+    With ``pass_faults=True`` the three compiler-model fault kinds are
+    armed as additional sweep stages.  When *out_dir* is given the
+    report is written there as ``chaos-report.json`` (plus
+    ``chaos-summary.md``, the markdown classification table).  All
+    scratch state (caches, journals, strike markers, digest files) lives
+    in a temporary directory and is removed afterwards.
     """
     dims = resolve_mesh(mesh)
     plan = ExecutionPlan.ladder(mesh=dims)
     keys = [cfg.key() for cfg in plan]
     fplan = FaultPlan.generate(seed, keys)
+    pplan = (FaultPlan.generate_pass_faults(seed, plan.configs)
+             if pass_faults else None)
     report = ChaosReport(seed=seed, mesh_dims=dims, plan_size=len(plan))
 
     def note(msg: str) -> None:
@@ -280,6 +321,71 @@ def run_chaos_campaign(seed: int = 0,
                 f"resume recalled {hits} runs, re-simulated only "
                 f"{resumed}"]))
 
+        # -- pass-fault sweeps: the compiler model itself lies ------------
+        if pplan is not None:
+            from repro.faults.injector import (
+                PassFaultyWorker,
+                pass_fault_mutator,
+            )
+            from repro.faults.plan import PASS_FAULT_KINDS, PASS_FAULT_RUNGS
+            from repro.validation.golden import golden_check as _gcheck
+            from repro.validation.invariants import check_phase_digest_ladder
+
+            for kind in PASS_FAULT_KINDS:
+                spec = pplan.spec_for(kind)
+                rung = PASS_FAULT_RUNGS[kind]
+                name = "pass-" + kind.removeprefix(
+                    "mislegalized_").replace("_", "-")
+                note(f"stage {name}: {kind} on {spec.target_key}")
+                cache = scratch / name
+                ddir = scratch / f"{name}.digests"
+                worker = PassFaultyWorker(kind, spec.target_key,
+                                          scratch / f"{name}.markers", ddir)
+                evs5: list[RunEvent] = []
+                res = execute_plan(plan, cache_dir=cache, jobs=1,
+                                   validate=True, worker=worker,
+                                   on_event=evs5.append)
+                digests = {}
+                for path in sorted(ddir.glob("*.json")):
+                    rec = json.loads(path.read_text())
+                    digests[rec["key"]] = rec["phase_digests"]
+                dviol = check_phase_digest_ladder(digests)
+                digest_flagged = spec.target_key in dviol
+                verdict_flagged = spec.target_key in res.invalid_keys()
+                # the drill: the same tampered pipeline must also fail
+                # the golden reference cross-check on its rung.
+                drill = _gcheck(rung, mutate=pass_fault_mutator(kind))
+                # counter-side signature: these faults conserve FLOPs,
+                # which is exactly why the digest invariant must exist.
+                t_run = res.runs.get(spec.target_key)
+                b_run = base.runs.get(spec.target_key)
+                flops_conserved = vl_changed = None
+                if t_run is not None and b_run is not None:
+                    lo, hi = sorted((t_run.total_flops, b_run.total_flops))
+                    flops_conserved = hi - lo <= 1e-6 * max(1.0, abs(hi))
+                    pids = set(t_run.phases) | set(b_run.phases)
+                    vl_changed = any(
+                        getattr(t_run.phases.get(p), "vl_hist", None)
+                        != getattr(b_run.phases.get(p), "vl_hist", None)
+                        for p in pids)
+                noticed = digest_flagged or verdict_flagged
+                cls = DETECTED if noticed and not drill.ok else SILENT
+                evidence = [
+                    f"digest ladder flagged target: {digest_flagged}"
+                    + (f" ({dviol[spec.target_key][0]})"
+                       if digest_flagged else ""),
+                    f"counter verdicts flagged target: {verdict_flagged}",
+                    f"golden drill on {rung}: "
+                    f"{len(drill.violations)} violation(s)"
+                    + (f", first: {drill.violations[0]}"
+                       if drill.violations else ""),
+                    f"FLOPs conserved vs baseline: {flops_conserved}; "
+                    f"vl histogram changed: {vl_changed}",
+                ]
+                report.stages.append(StageReport(
+                    name=name, kind=kind, target=spec.target_key,
+                    classification=cls, evidence=evidence))
+
         # -- golden drills: clean pass + poisoned phase array -------------
         from repro.validation.golden import golden_check
 
@@ -337,6 +443,10 @@ def run_chaos_campaign(seed: int = 0,
         out = Path(out_dir)
         out.mkdir(parents=True, exist_ok=True)
         (out / "chaos-report.json").write_text(report.to_json())
+        (out / "chaos-summary.md").write_text(report.to_markdown())
+        plan_dict = fplan.to_dict()
+        if pplan is not None:
+            plan_dict["pass_specs"] = [s.to_dict() for s in pplan.specs]
         (out / "fault-plan.json").write_text(
-            json.dumps(fplan.to_dict(), indent=2, sort_keys=True) + "\n")
+            json.dumps(plan_dict, indent=2, sort_keys=True) + "\n")
     return report

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import replace
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -65,6 +66,19 @@ def inject_cache_miss_drift(cache, delta: int) -> None:
     cache.misses += delta
 
 
+def claim_strike(marker_dir: str | os.PathLike, kind: str) -> bool:
+    """Atomically claim one strike of fault *kind*; exactly one caller
+    wins per marker directory (``O_CREAT | O_EXCL``), even when workers
+    fan out across processes.  Losers pass through and compute honestly."""
+    Path(marker_dir).mkdir(parents=True, exist_ok=True)
+    marker = Path(marker_dir) / f"{kind}.struck"
+    try:
+        os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+        return True
+    except FileExistsError:
+        return False
+
+
 def mislegalize_trip_count(kernels: list, delta: int = -1) -> list:
     """Tamper with pass-promoted trip counts (a mis-legalized
     transformation).
@@ -76,8 +90,6 @@ def mislegalize_trip_count(kernels: list, delta: int = -1) -> list:
     ``golden_check(mutate=...)``, which must *detect* the semantic
     change and pin it to the first phase that consumes the bound.
     """
-    from dataclasses import replace
-
     from repro.compiler.ir import Extent
     from repro.compiler.transforms.base import rewrite_loops
     from repro.compiler.transforms.passes import PROMOTED_NAME
@@ -91,6 +103,108 @@ def mislegalize_trip_count(kernels: list, delta: int = -1) -> list:
         return None
 
     return [replace(k, body=rewrite_loops(k.body, tamper)) for k in kernels]
+
+
+def mislegalize_interchange(kernels: list) -> list:
+    """Apply :class:`~repro.compiler.transforms.LoopInterchange` with its
+    legality precondition disabled (a mis-legalized transformation).
+
+    Models an interchange pass whose legality analysis is broken: the
+    T2 control-flow blocker is ignored, so kernels that mix the vec-var
+    loop with data-dependent guards (the phase-8 valid-element check)
+    are interchanged anyway.  Sinking the vec loop below a guard hoists
+    the guard out of the per-element context; the buggy compiler
+    "proves" it loop-invariant and evaluates it once, for lane 0 — so a
+    chunk whose first element is valid scatters *every* lane, padding
+    included.  Handed to ``golden_check(mutate=...)`` on the ``ivec2``
+    rung this deviates far above tolerance in phase 8 (padding lanes
+    double-count the replicated last element's contributions).
+    """
+    from repro.compiler.ir import If, Loop
+    from repro.compiler.transforms.base import pin_var_in_cond
+    from repro.compiler.transforms.passes import LoopInterchange
+
+    class _UncheckedInterchange(LoopInterchange):
+        """Interchange without legality: the fault, not a real pass."""
+
+        def _legality(self, target):
+            return []  # the bug under injection: every blocker ignored
+
+        def _sink(self, var, extent, body):
+            if not any(isinstance(s, (Loop, If)) for s in body):
+                return (Loop(var, extent, body),)
+            out = []
+            for s in body:
+                if isinstance(s, Loop):
+                    out.append(s.with_body(self._sink(var, extent, s.body)))
+                elif isinstance(s, If):
+                    # the guard is hoisted and frozen to lane 0 — the
+                    # exact hazard the T2 blocker exists to prevent.
+                    out.append(If(pin_var_in_cond(s.cond, var),
+                                  self._sink(var, extent, s.body),
+                                  est_taken=s.est_taken))
+                else:
+                    out.append(Loop(var, extent, (s,)))
+            return tuple(out)
+
+    p = _UncheckedInterchange()
+    return [p.run(k)[0] for k in kernels]
+
+
+def mislegalize_fission(kernels: list) -> list:
+    """Apply a :class:`~repro.compiler.transforms.LoopFission` that splits
+    across a loop-carried-order dependence (a mis-legalized
+    transformation).
+
+    The legal pass splits *after* the last guard, so the guarded fixup
+    (``WORK A``) still runs before the straight-line tail; this buggy
+    version splits at the *first* guard and emits the guarded half
+    **before** the gather half — reordering dependent accesses, which is
+    precisely what the T4-fission-dependence blocker forbids.  On the
+    mini-app the padding-lane fixup (``elvisc = 1.0``) now runs before
+    the property gather overwrites it, so ``golden_check(mutate=...)``
+    deviates in phase 1 on every rung.
+    """
+    from repro.compiler.ir import If
+    from repro.compiler.transforms.base import rewrite_loops
+
+    struck: list = []
+
+    def split(loop):
+        if loop.var != "ivect" or struck:
+            return None
+        first_if = next((i for i, s in enumerate(loop.body)
+                         if isinstance(s, If)), None)
+        if first_if is None or first_if == 0:
+            return None
+        struck.append(loop.var)
+        head, tail = loop.body[:first_if], loop.body[first_if:]
+        return (replace(loop, body=tail), replace(loop, body=head))
+
+    return [replace(k, body=rewrite_loops(k.body, split)) for k in kernels]
+
+
+#: every implemented pass-fault kind -> its kernel mutator.  The chaos
+#: campaign and the ``repro chaos --validate`` drill iterate
+#: ``PASS_FAULT_KINDS`` and resolve each kind here, so a kind listed in
+#: the vocabulary but missing an injector fails loudly instead of being
+#: skipped.
+PASS_FAULT_MUTATORS: dict[str, Callable[[list], list]] = {
+    "mislegalized_trip_count": mislegalize_trip_count,
+    "mislegalized_interchange": mislegalize_interchange,
+    "mislegalized_fission": mislegalize_fission,
+}
+
+
+def pass_fault_mutator(kind: str) -> Callable[[list], list]:
+    """The kernel mutator implementing one pass-fault kind; raises
+    ``NotImplementedError`` for a listed-but-unimplemented kind."""
+    try:
+        return PASS_FAULT_MUTATORS[kind]
+    except KeyError:
+        raise NotImplementedError(
+            f"pass fault kind {kind!r} has no injector; implemented: "
+            f"{sorted(PASS_FAULT_MUTATORS)}") from None
 
 
 # ---------------------------------------------------------------------------
@@ -136,13 +250,7 @@ class FaultyWorker:
 
     def _claim(self, spec: FaultSpec) -> bool:
         """Atomically claim one strike; loser processes pass through."""
-        Path(self.marker_dir).mkdir(parents=True, exist_ok=True)
-        marker = Path(self.marker_dir) / f"{spec.kind}.struck"
-        try:
-            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
-            return True
-        except FileExistsError:
-            return False
+        return claim_strike(self.marker_dir, spec.kind)
 
     def _tear_cache_entry(self, victim_key: str) -> None:
         """Truncate the victim's cache entry to half its bytes, in place
@@ -184,6 +292,83 @@ class FaultyWorker:
                 raise ValueError(f"unknown fault kind {spec.kind!r}")
             return payload
         return simulate_to_dict(cfg)
+
+
+class PassFaultyWorker:
+    """A sweep worker whose *compiler* lies: the target config is
+    simulated from kernels tampered by one mis-legalized pass.
+
+    Where :class:`FaultyWorker` corrupts payloads after an honest
+    simulation, this worker re-enacts a compiler bug end to end: on the
+    (strike-once) target it takes the honestly transformed kernels,
+    applies the pass-fault mutator for *kind* (see
+    :data:`PASS_FAULT_MUTATORS`), re-vectorizes and re-lowers the
+    tampered IR, and reports the counters of that wrong-but-plausible
+    program.  Every call also writes the config's per-phase golden
+    output digests (:func:`repro.validation.digests.phase_output_digests`)
+    — computed from the *same* kernels the payload came from — to
+    ``digest_dir/<key>.json``, giving the campaign the cross-rung
+    evidence trail the counter invariants cannot provide (these faults
+    conserve FLOPs by construction).
+
+    Picklable: plain-data attributes only, all imports deferred to call
+    time, so it crosses a ``ProcessPoolExecutor`` boundary like the
+    other workers.
+    """
+
+    def __init__(self, kind: str, target_key: str,
+                 marker_dir: str | os.PathLike,
+                 digest_dir: str | os.PathLike,
+                 field_seed: int = 0):
+        if kind not in PASS_FAULT_MUTATORS:
+            pass_fault_mutator(kind)  # raises NotImplementedError loudly
+        self.kind = kind
+        self.target_key = target_key
+        self.marker_dir = str(marker_dir)
+        self.digest_dir = str(digest_dir)
+        self.field_seed = field_seed
+
+    def _simulate(self, cfg: RunConfig, mutate) -> tuple[dict, dict]:
+        """Counters + probe digests for *cfg*, from mutated kernels."""
+        import json
+
+        from repro.experiments.executor import build_miniapp
+        from repro.machine.cpu import Machine
+        from repro.machine.machines import get_machine
+        from repro.metrics.counters import counters_to_dict
+        from repro.validation.digests import phase_output_digests
+
+        if mutate is None:
+            payload = simulate_to_dict(cfg)
+            digests = phase_output_digests(cfg.opt,
+                                           field_seed=self.field_seed)
+        else:
+            from repro.compiler.program import compile_kernels
+
+            app = build_miniapp(cfg)
+            result = compile_kernels(mutate(list(app.kernels)), app.flags)
+            params = get_machine(cfg.machine)
+            machine = Machine(params, cache_enabled=cfg.cache_enabled)
+            app.kernels = result.kernels
+            app.compiled = result.compiled
+            payload = counters_to_dict(app.run_timed(params, machine=machine))
+            digests = phase_output_digests(cfg.opt, mutate=mutate,
+                                           field_seed=self.field_seed)
+        out = Path(self.digest_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{cfg.key()}.json").write_text(json.dumps(
+            {"key": cfg.key(), "opt": cfg.opt,
+             "phase_digests": {str(p): d for p, d in sorted(digests.items())}},
+            sort_keys=True) + "\n")
+        return payload, digests
+
+    def __call__(self, cfg: RunConfig) -> dict:
+        mutate = None
+        if cfg.key() == self.target_key and claim_strike(self.marker_dir,
+                                                         self.kind):
+            mutate = pass_fault_mutator(self.kind)
+        payload, _ = self._simulate(cfg, mutate)
+        return payload
 
 
 class InterruptingWorker:

@@ -26,17 +26,28 @@ WORKER_FAULT_KINDS: tuple[str, ...] = (
     "torn_cache",        # a .repro_cache entry truncated mid-sweep
 )
 
-#: pass-layer fault kinds (ROADMAP follow-up "mis-legalized
-#: vectorization"): injected through ``golden_check(mutate=...)`` into
-#: the transformation-pass output rather than through sweep workers.
-#: Only ``mislegalized_trip_count`` is implemented so far (see
-#: :func:`repro.faults.injector.mislegalize_trip_count`); the listed
-#: kinds are the planned vocabulary.
+#: pass-layer fault kinds ("mis-legalized vectorization"): each models a
+#: transformation-pass bug — the pass applies despite a blocker its
+#: legality analysis should have caught — injected either through
+#: ``golden_check(mutate=...)`` (the drill) or through a
+#: :class:`repro.faults.injector.PassFaultyWorker` sweep (the campaign).
+#: Every kind listed here must have an injector in
+#: :data:`repro.faults.injector.PASS_FAULT_MUTATORS`; resolving a
+#: stubbed kind raises instead of being skipped.
 PASS_FAULT_KINDS: tuple[str, ...] = (
     "mislegalized_trip_count",   # promoted loop bound off by one
-    "mislegalized_interchange",  # loop sunk past a real dependence (stub)
-    "mislegalized_fission",      # loop split across a dependence (stub)
+    "mislegalized_interchange",  # interchange despite the T2 guard blocker
+    "mislegalized_fission",      # fission across the T4 order dependence
 )
+
+#: the optimization rung whose pipeline each pass-fault kind tampers
+#: with: the rung where the mis-legalized pass is the *newest* member,
+#: so the fault models that rung's own transformation going wrong.
+PASS_FAULT_RUNGS: dict[str, str] = {
+    "mislegalized_trip_count": "vec2",
+    "mislegalized_interchange": "ivec2",
+    "mislegalized_fission": "vec1",
+}
 
 
 @dataclass(frozen=True)
@@ -92,6 +103,30 @@ class FaultPlan:
                                        victim_key=victim))
             else:
                 specs.append(FaultSpec(kind=kind, target_key=rng.choice(keys)))
+        return cls(seed=seed, specs=tuple(specs))
+
+    @classmethod
+    def generate_pass_faults(cls, seed: int, configs) -> "FaultPlan":
+        """One deterministic strike target per pass-fault kind.
+
+        Each kind strikes a seeded config of its rung (see
+        :data:`PASS_FAULT_RUNGS`): the fault models *that rung's* newest
+        transformation mis-legalizing, so the target must actually run
+        the tampered pass.  Pure function of ``(seed, configs)``.
+        """
+        rng = random.Random(seed)
+        configs = list(configs)
+        if not configs:
+            raise ValueError("cannot generate a fault plan for an empty sweep")
+        specs: list[FaultSpec] = []
+        for kind in PASS_FAULT_KINDS:
+            rung = PASS_FAULT_RUNGS[kind]
+            candidates = [cfg.key() for cfg in configs if cfg.opt == rung]
+            if not candidates:
+                raise ValueError(
+                    f"pass fault {kind!r} targets rung {rung!r} but the "
+                    f"sweep has no such config")
+            specs.append(FaultSpec(kind=kind, target_key=rng.choice(candidates)))
         return cls(seed=seed, specs=tuple(specs))
 
     def spec_for(self, kind: str) -> FaultSpec:

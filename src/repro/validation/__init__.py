@@ -17,18 +17,22 @@ proves they fire on injected faults.
 from repro.validation.invariants import (
     check_flop_ladder,
     check_phase_counters,
+    check_phase_digest_ladder,
     check_run_counters,
     validate_run,
     vl_max_for,
 )
+from repro.validation.digests import phase_output_digests
 from repro.validation.golden import GoldenReport, golden_check
 
 __all__ = [
     "GoldenReport",
     "check_flop_ladder",
     "check_phase_counters",
+    "check_phase_digest_ladder",
     "check_run_counters",
     "golden_check",
+    "phase_output_digests",
     "validate_run",
     "vl_max_for",
 ]

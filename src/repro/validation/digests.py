@@ -1,0 +1,98 @@
+"""Per-phase golden output digests: the cross-rung semantic fingerprint.
+
+Every optimization rung is a pure performance transformation, so the
+*interpreted* outputs of each phase on a fixed probe configuration are
+bit-identical across the whole ladder — scalar through vec1 produce the
+same bytes phase by phase (the legal passes only restructure loops whose
+iterations are independent, and iteration order within a phase's
+accumulates is preserved).  :func:`phase_output_digests` turns that into
+a comparable fingerprint: one SHA-256 per phase over the phase's output
+arrays (:data:`repro.cfd.reference.PHASE_OUTPUTS`), accumulated chunk by
+chunk on the golden probe mesh.
+
+This is the invariant that catches the pass faults the counter checks
+cannot: a mis-legalized interchange or fission conserves FLOPs by
+construction (same arithmetic, wrong order/guard), so the FLOP-ladder
+check stays green — but the first phase whose semantics changed diverges
+from the majority digest, pinning both the struck run and the phase
+(see :func:`repro.validation.invariants.check_phase_digest_ladder`).
+
+The digest is a pure function of ``(kernels, field_seed)`` on the fixed
+probe; notably it does **not** depend on the run's own mesh or
+VECTOR_SIZE (different probe vector sizes pad differently and are *not*
+comparable, which is why the probe size is pinned).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.validation.golden import (
+    MutateHook,
+    PROBE_MESH,
+    PROBE_VECTOR_SIZE,
+)
+
+
+def _compute_digests(opt: str, field_seed: int,
+                     mesh_dims: tuple[int, int, int], vector_size: int,
+                     mutate: Optional[MutateHook]) -> dict[int, str]:
+    from repro.cfd.assembly import MiniApp
+    from repro.cfd.mesh import box_mesh
+    from repro.cfd.reference import PHASE_OUTPUTS
+    from repro.compiler.interpreter import Interpreter
+
+    app = MiniApp(box_mesh(*mesh_dims), vector_size, opt,
+                  field_seed=field_seed)
+    kernels = list(app.kernels)
+    if mutate is not None:
+        kernels = mutate(kernels)
+    gdata = app.global_float_data()
+    globals_data = {**gdata, "elpos": app.elpos}
+    hashers = {phase: hashlib.sha256() for phase in PHASE_OUTPUTS}
+    for chunk in app.chunks:
+        inst = app.context.instance_for_chunk(chunk, with_data=True,
+                                              globals_data=globals_data)
+        interp = Interpreter(inst, app.context.params)
+        for kern in kernels:
+            interp.run(kern)
+            for name in PHASE_OUTPUTS[kern.phase]:
+                arr = np.ascontiguousarray(
+                    np.asarray(inst.data(name), dtype=np.float64))
+                hashers[kern.phase].update(arr.tobytes())
+    return {phase: h.hexdigest() for phase, h in sorted(hashers.items())}
+
+
+@lru_cache(maxsize=32)
+def _honest_digests(opt: str, field_seed: int,
+                    mesh_dims: tuple[int, int, int],
+                    vector_size: int) -> tuple[tuple[int, str], ...]:
+    """Memoized honest-pipeline digests (the interpreter is slow and a
+    chaos campaign fingerprints the same rungs many times over)."""
+    return tuple(sorted(_compute_digests(opt, field_seed, mesh_dims,
+                                         vector_size, None).items()))
+
+
+def phase_output_digests(opt: str,
+                         *,
+                         field_seed: int = 0,
+                         mutate: Optional[MutateHook] = None,
+                         mesh_dims: tuple[int, int, int] = PROBE_MESH,
+                         vector_size: int = PROBE_VECTOR_SIZE
+                         ) -> dict[int, str]:
+    """SHA-256 fingerprint of every phase's interpreted outputs.
+
+    Interprets the (optionally ``mutate``-tampered) kernels of one rung
+    on the golden probe, hashing each phase's output arrays across all
+    chunks.  Honest rungs all return the same digests; a tampered
+    pipeline diverges at the first semantically-changed phase.
+    """
+    if mutate is None:
+        return dict(_honest_digests(opt, field_seed, tuple(mesh_dims),
+                                    vector_size))
+    return _compute_digests(opt, field_seed, tuple(mesh_dims), vector_size,
+                            mutate)

@@ -91,6 +91,43 @@ def validate_run(cfg, run: RunCounters) -> list[str]:
     return check_run_counters(run, vl_max=vl_max_for(cfg.machine))
 
 
+def check_phase_digest_ladder(
+        digests: Mapping[str, Mapping]) -> dict[str, list[str]]:
+    """Semantic conservation across the optimization ladder.
+
+    *digests* maps run keys to per-phase golden output fingerprints
+    (``{phase: sha256}``, phases int- or str-keyed; see
+    :func:`repro.validation.digests.phase_output_digests`).  Honest runs
+    all fingerprint identically on the fixed probe, so any run deviating
+    from the per-phase majority digest is flagged, with the first
+    divergent phase named — this is the check that catches a
+    mis-legalized interchange or fission, which conserves FLOPs (so
+    :func:`check_flop_ladder` stays green) while computing the wrong
+    answer.  Returns violations keyed by run key; fewer than three runs
+    cannot form a majority and return no verdict.
+    """
+    if len(digests) < 3:
+        return {}
+    norm = {key: {str(p): d for p, d in fp.items()}
+            for key, fp in digests.items()}
+    phases = sorted({p for fp in norm.values() for p in fp}, key=int)
+    out: dict[str, list[str]] = {}
+    for phase in phases:
+        votes: dict[str, int] = {}
+        for fp in norm.values():
+            d = fp.get(phase, "")
+            votes[d] = votes.get(d, 0) + 1
+        majority = max(votes.items(), key=lambda kv: (kv[1], kv[0]))[0]
+        for key in sorted(norm):
+            if norm[key].get(phase, "") != majority:
+                out.setdefault(key, []).append(
+                    f"phase {phase} output digest "
+                    f"{norm[key].get(phase, '')[:12] or '<missing>'} deviates "
+                    f"from the ladder majority {majority[:12]} "
+                    f"({votes.get(majority, 0)}/{len(norm)} runs agree)")
+    return out
+
+
 def check_flop_ladder(runs: Mapping, rtol: float = 1e-6) -> dict[str, list[str]]:
     """FLOP conservation across the optimization ladder.
 

@@ -18,8 +18,10 @@ from repro.metrics.counters import PhaseCounters, RunCounters
 from repro.validation import (
     check_flop_ladder,
     check_phase_counters,
+    check_phase_digest_ladder,
     check_run_counters,
     golden_check,
+    phase_output_digests,
     validate_run,
     vl_max_for,
 )
@@ -187,6 +189,37 @@ def test_unvalidated_sweep_trusts_the_cache(tmp_path):
     store_payload(tmp_path, CFG, payload)
     res = execute_plan([CFG], cache_dir=tmp_path, validate=False)
     assert res.stats.cache_hits == 1  # backwards-compatible fast path
+
+
+# -- phase-output digest ladder ---------------------------------------------
+
+
+def test_honest_digests_identical_across_all_rungs():
+    # every optimization rung is a pure performance transformation, so
+    # on the fixed probe all rungs fingerprint bit-identically -- this
+    # is the precondition for the majority vote below.
+    ladder = {opt: phase_output_digests(opt)
+              for opt in ("vanilla", "vec2", "ivec2", "vec1", "scalar")}
+    reference = ladder["vanilla"]
+    assert reference  # non-empty, one digest per golden phase output
+    assert all(fp == reference for fp in ladder.values())
+    assert check_phase_digest_ladder(ladder) == {}
+
+
+def test_digest_ladder_majority_flags_the_deviant():
+    honest = {1: "aaaa", 2: "bbbb"}
+    digests = {"run-a": honest, "run-b": honest, "run-c": dict(honest),
+               "run-d": {1: "aaaa", 2: "eeee"}}
+    out = check_phase_digest_ladder(digests)
+    assert set(out) == {"run-d"}
+    assert any("phase 2" in v and "3/4 runs agree" in v
+               for v in out["run-d"])
+
+
+def test_digest_ladder_needs_a_majority():
+    # two runs disagreeing is a tie, not a verdict.
+    assert check_phase_digest_ladder(
+        {"a": {"1": "x"}, "b": {"1": "y"}}) == {}
 
 
 # -- golden reference -------------------------------------------------------

@@ -47,3 +47,38 @@ def test_seed0_campaign_absorbs_nothing_silently(tmp_path):
     text = report.to_json()
     for token in ("wall", "elapsed", "seconds", "timestamp"):
         assert token not in text
+
+
+def test_pass_fault_stages_are_opt_in_and_all_detected(tmp_path):
+    report = run_chaos_campaign(seed=0, out_dir=tmp_path, pass_faults=True)
+    names = {st.name for st in report.stages}
+
+    # pass faults extend the default stage set (which the test above
+    # pins), adding exactly one stage per PASS_FAULT_KINDS entry.
+    pass_stages = {"pass-trip-count", "pass-interchange", "pass-fission"}
+    assert names == EXPECTED_STAGES | pass_stages
+
+    by_name = {st.name: st for st in report.stages}
+    for name in sorted(pass_stages):
+        st = by_name[name]
+        # a mis-legalized pass conserves work, so detection MUST come
+        # from the semantic channels, never be silently absorbed.
+        assert st.classification == "detected", name
+        assert st.target  # struck a concrete seeded config
+        assert any("digest ladder" in e for e in st.evidence), name
+    assert report.ok
+    assert report.counts["silent"] == 0
+
+    # the seeded targets land on the rung each fault tampers with.
+    fplan = json.loads((tmp_path / "fault-plan.json").read_text())
+    rungs = {s["kind"]: s["target_key"] for s in fplan["pass_specs"]}
+    assert "-vec2-" in rungs["mislegalized_trip_count"]
+    assert "-ivec2-" in rungs["mislegalized_interchange"]
+    assert "-vec1-" in rungs["mislegalized_fission"]
+
+    # the markdown summary (CI job summary payload) carries the table.
+    md = (tmp_path / "chaos-summary.md").read_text()
+    assert "| stage | fault | target | outcome |" in md
+    for name in pass_stages:
+        assert name in md
+    assert "**SILENT**" not in md

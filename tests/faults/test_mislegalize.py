@@ -4,31 +4,55 @@ ROADMAP follow-up to the chaos harness: faults injected into the
 *transformation pass layer* (wrong IR out of a pass) rather than into
 workers or payloads.  The golden check's ``mutate`` hook is the
 injection point; detection means the semantic change is caught and
-pinned to the first phase that consumes the bad IR.
+pinned to the first phase that consumes the bad IR.  The property tests
+at the bottom are the contract for the whole vocabulary: every kind in
+:data:`PASS_FAULT_KINDS` must be deterministic per seed and must never
+be classified silent by the shipped invariant set.
 """
 
-from repro.faults.injector import mislegalize_trip_count
-from repro.faults.plan import PASS_FAULT_KINDS, WORKER_FAULT_KINDS
+import pytest
+
+from repro.faults.injector import (
+    mislegalize_fission,
+    mislegalize_interchange,
+    mislegalize_trip_count,
+    pass_fault_mutator,
+)
+from repro.faults.plan import (
+    PASS_FAULT_KINDS,
+    PASS_FAULT_RUNGS,
+    WORKER_FAULT_KINDS,
+)
+from repro.validation import check_phase_digest_ladder, phase_output_digests
 from repro.validation.golden import golden_check
 
 
-def test_pass_fault_kinds_are_a_separate_vocabulary():
-    assert "mislegalized_trip_count" in PASS_FAULT_KINDS
-    assert not set(PASS_FAULT_KINDS) & set(WORKER_FAULT_KINDS)
-
-
-def test_mislegalized_trip_count_rewrites_promoted_bounds():
+def _rung_kernels(opt: str):
     from repro.cfd.csr import build_pattern
     from repro.cfd.kernel_context import MiniAppContext
     from repro.cfd.mesh import box_mesh
     from repro.cfd.phases import build_baseline_kernels
-    from repro.compiler.ir import walk_loops
     from repro.compiler.transforms import pipeline_for_opt
 
     mesh = box_mesh(3, 2, 2)
     ctx = MiniAppContext(mesh, 8, nnz=build_pattern(mesh).nnz)
-    kernels, _ = pipeline_for_opt("vec2").run_all(
+    kernels, _ = pipeline_for_opt(opt).run_all(
         build_baseline_kernels(ctx.arrays, 8))
+    return kernels
+
+
+def test_pass_fault_kinds_are_a_separate_vocabulary():
+    assert "mislegalized_trip_count" in PASS_FAULT_KINDS
+    assert "mislegalized_interchange" in PASS_FAULT_KINDS
+    assert "mislegalized_fission" in PASS_FAULT_KINDS
+    assert not set(PASS_FAULT_KINDS) & set(WORKER_FAULT_KINDS)
+    assert set(PASS_FAULT_RUNGS) == set(PASS_FAULT_KINDS)
+
+
+def test_mislegalized_trip_count_rewrites_promoted_bounds():
+    from repro.compiler.ir import walk_loops
+
+    kernels = _rung_kernels("vec2")
     bad = mislegalize_trip_count(kernels, delta=-1)
     originals = [lp.extent.value for k in kernels
                  for lp in walk_loops(k.body)
@@ -40,6 +64,33 @@ def test_mislegalized_trip_count_rewrites_promoted_bounds():
     assert all(v == 7 for v in tampered)
 
 
+def test_mislegalized_interchange_vectorizes_past_the_guard():
+    # The honest ivec2 pipeline leaves guard-blocked (T2) nests alone;
+    # the fault forces the interchange through, so the tampered kernel
+    # set must differ structurally from the honest one.
+    kernels = _rung_kernels("ivec2")
+    bad = mislegalize_interchange(kernels)
+    assert len(bad) == len(kernels)
+    assert bad != kernels
+
+
+def test_mislegalized_fission_splits_at_the_first_guard():
+    from repro.compiler.ir import If, walk_loops
+
+    kernels = _rung_kernels("vec1")
+    bad = mislegalize_fission(kernels)
+    assert bad != kernels
+    # the split emits the tail (guard onward) BEFORE the head it
+    # depends on, and strikes exactly one loop across the kernel list.
+    n_orig = sum(1 for k in kernels for lp in walk_loops(k.body)
+                 if lp.var == "ivect")
+    n_bad = sum(1 for k in bad for lp in walk_loops(k.body)
+                if lp.var == "ivect")
+    assert n_bad == n_orig + 1
+    struck = [k for k, b in zip(kernels, bad) if k != b]
+    assert len(struck) == 1
+
+
 def test_golden_check_detects_mislegalized_trip_count():
     report = golden_check("vec2", mutate=mislegalize_trip_count)
     assert not report.ok
@@ -48,5 +99,67 @@ def test_golden_check_detects_mislegalized_trip_count():
     assert any("phase 1" in v for v in report.violations)
 
 
+def test_golden_check_detects_mislegalized_interchange():
+    report = golden_check("ivec2", mutate=mislegalize_interchange)
+    assert not report.ok
+    # the guard condition read at the wrong lane corrupts the matrix
+    # assembly phase, where the padding lanes double-count.
+    assert any("phase 8" in v for v in report.violations)
+
+
+def test_golden_check_detects_mislegalized_fission():
+    report = golden_check("vec1", mutate=mislegalize_fission)
+    assert not report.ok
+    # reordering across the T4 dependence reads the fallback viscosity
+    # before the guarded store, surfacing in phase 1.
+    assert any("phase 1" in v and "elvisc" in v for v in report.violations)
+
+
 def test_golden_check_clean_without_mutation():
     assert golden_check("vec2", mutate=lambda ks: ks).ok
+
+
+def test_pass_fault_mutator_rejects_unknown_kind():
+    # a kind listed in the vocabulary but missing its injector must
+    # fail loudly, never be skipped (the drill table depends on this).
+    with pytest.raises(NotImplementedError):
+        pass_fault_mutator("mislegalized_warp_shuffle")
+
+
+# -- vocabulary-wide property tests -----------------------------------------
+#
+# These are the CI contract for the fault model: a kind listed in
+# PASS_FAULT_KINDS that is stubbed, nondeterministic, or invisible to
+# the shipped invariants fails here, loudly, before the chaos gate
+# ever runs.
+
+
+@pytest.mark.parametrize("kind", PASS_FAULT_KINDS)
+def test_every_listed_kind_resolves_to_an_injector(kind):
+    assert callable(pass_fault_mutator(kind))
+
+
+@pytest.mark.parametrize("kind", PASS_FAULT_KINDS)
+def test_every_kind_is_deterministic(kind):
+    kernels = _rung_kernels(PASS_FAULT_RUNGS[kind])
+    mutate = pass_fault_mutator(kind)
+    once, twice = mutate(list(kernels)), mutate(list(kernels))
+    assert once == twice           # frozen-dataclass structural equality
+    assert once != kernels         # and it actually tampers
+
+
+@pytest.mark.parametrize("kind", PASS_FAULT_KINDS)
+def test_no_kind_is_silent_under_the_shipped_invariants(kind):
+    rung = PASS_FAULT_RUNGS[kind]
+    mutate = pass_fault_mutator(kind)
+
+    # channel 1: the per-rung golden drill must flag the tampered IR.
+    assert not golden_check(rung, mutate=mutate).ok
+
+    # channel 2: the cross-rung digest ladder must single out the
+    # tampered run against the honest majority.
+    digests = {f"honest-{opt}": phase_output_digests(opt)
+               for opt in ("vanilla", "vec2", "ivec2", "vec1")}
+    digests["tampered"] = phase_output_digests(rung, mutate=mutate)
+    flagged = check_phase_digest_ladder(digests)
+    assert set(flagged) == {"tampered"}

@@ -2,9 +2,20 @@
 
 import pytest
 
-from repro.faults.plan import WORKER_FAULT_KINDS, FaultPlan, FaultSpec
+from repro.experiments.config import TINY_MESH, RunConfig
+from repro.faults.plan import (
+    PASS_FAULT_KINDS,
+    PASS_FAULT_RUNGS,
+    WORKER_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+)
 
 KEYS = [f"cfg-{i}" for i in range(9)]
+
+CONFIGS = [RunConfig(opt=o, vector_size=vs, mesh_dims=TINY_MESH)
+           for o in ("vanilla", "vec2", "ivec2", "vec1")
+           for vs in (16, 64)]
 
 
 def test_same_seed_same_plan():
@@ -55,6 +66,39 @@ def test_to_dict_roundtrip_shape():
     assert d["seed"] == 5
     assert len(d["specs"]) == len(WORKER_FAULT_KINDS)
     assert all({"kind", "target_key", "victim_key"} <= set(s) for s in d["specs"])
+
+
+def test_pass_fault_plan_same_seed_same_plan():
+    a = FaultPlan.generate_pass_faults(0, CONFIGS)
+    b = FaultPlan.generate_pass_faults(0, CONFIGS)
+    assert a == b
+
+
+def test_pass_fault_plan_one_spec_per_kind_on_its_rung():
+    plan = FaultPlan.generate_pass_faults(0, CONFIGS)
+    assert sorted(s.kind for s in plan.specs) == sorted(PASS_FAULT_KINDS)
+    by_key = {cfg.key(): cfg for cfg in CONFIGS}
+    for spec in plan.specs:
+        # each kind strikes a config of the rung whose pipeline it
+        # tampers with, so the fault actually runs the bad pass.
+        assert by_key[spec.target_key].opt == PASS_FAULT_RUNGS[spec.kind]
+
+
+def test_pass_fault_plan_varies_with_seed():
+    plans = {FaultPlan.generate_pass_faults(s, CONFIGS).specs
+             for s in range(8)}
+    assert len(plans) > 1
+
+
+def test_pass_fault_plan_rejects_empty_sweep():
+    with pytest.raises(ValueError):
+        FaultPlan.generate_pass_faults(0, [])
+
+
+def test_pass_fault_plan_rejects_sweep_missing_a_rung():
+    scalar_only = [cfg for cfg in CONFIGS if cfg.opt == "vanilla"]
+    with pytest.raises(ValueError):
+        FaultPlan.generate_pass_faults(0, scalar_only)
 
 
 def test_spec_is_frozen():
