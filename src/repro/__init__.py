@@ -21,8 +21,13 @@ The package simulates the paper's entire stack in Python:
   analysis (the exporter side of :mod:`repro.obs`);
 * :mod:`repro.experiments` -- the harness regenerating every table and
   figure of the evaluation;
+* :mod:`repro.backends` -- pluggable kernel execution: the
+  ``"interpreter"`` semantics oracle and the default ``"numpy"``
+  whole-array lowering, byte-identical and ~10x faster (``get_backend``,
+  ``BACKENDS``, every ``backend=`` keyword and ``--backend`` flag);
 * :mod:`repro.validation` -- counter invariants + golden-reference
-  cross-checks (``execute_plan(validate=True)``, ``--validate``);
+  cross-checks (``execute_plan(validate=True)``, ``--validate``),
+  configured by the shared :class:`~repro.validation.Probe` spec;
 * :mod:`repro.faults` -- seeded fault injection and the chaos campaign
   proving the stack detects or recovers from every injected fault
   (``repro chaos``).
@@ -45,19 +50,24 @@ or, one level lower::
     print(counters.total_cycles)
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro import obs
+from repro.backends import BACKENDS, ExecutionBackend, get_backend
 from repro.cfd.assembly import MiniApp
 from repro.cfd.mesh import box_mesh
 from repro.experiments.config import RunConfig
 from repro.experiments.executor import ExecutionPlan, SweepError, execute_plan
 from repro.experiments.runner import Session
 from repro.machine.machines import get_machine
+from repro.validation.probe import Probe
 
 __all__ = [
+    "BACKENDS",
+    "ExecutionBackend",
     "ExecutionPlan",
     "MiniApp",
+    "Probe",
     "RunConfig",
     "Session",
     "SweepError",
@@ -65,5 +75,6 @@ __all__ = [
     "box_mesh",
     "execute_plan",
     "get_machine",
+    "get_backend",
     "obs",
 ]

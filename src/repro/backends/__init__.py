@@ -1,0 +1,46 @@
+"""Pluggable kernel-execution backends.
+
+Public surface:
+
+* :class:`ExecutionBackend` / :class:`KernelExecutor` -- the protocols;
+* :data:`BACKENDS`, :func:`get_backend`, :func:`register_backend`,
+  :data:`DEFAULT_BACKEND` -- the registry;
+* :class:`InterpreterBackend` (``"interpreter"``) -- the element-by-
+  element semantics oracle;
+* :class:`NumpyBackend` (``"numpy"``, default) -- whole-array execution,
+  byte-identical to the oracle and ~an order of magnitude faster.
+
+See :mod:`repro.backends.base` for the design rationale and
+:mod:`repro.backends.numpy_backend` for the bit-exactness argument.
+"""
+
+from repro.backends.base import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    KernelExecutor,
+    get_backend,
+    register_backend,
+)
+from repro.backends.interp import INTERPRETER_BACKEND, InterpreterBackend
+from repro.backends.numpy_backend import (
+    NUMPY_BACKEND,
+    NumpyBackend,
+    NumpyExecutor,
+    plan_kernel,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "KernelExecutor",
+    "get_backend",
+    "register_backend",
+    "InterpreterBackend",
+    "INTERPRETER_BACKEND",
+    "NumpyBackend",
+    "NumpyExecutor",
+    "NUMPY_BACKEND",
+    "plan_kernel",
+]

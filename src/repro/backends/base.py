@@ -1,0 +1,97 @@
+"""Execution-backend protocol and registry.
+
+An *execution backend* answers one question: given a loop-nest
+:class:`~repro.compiler.ir.Kernel` and a bound
+:class:`~repro.compiler.program.KernelInstance`, who actually computes
+the numbers?  The repo grew up with a single answer -- the tree-walking
+:class:`~repro.compiler.interpreter.Interpreter`, element by element --
+which is a fine semantics oracle and a terrible way to run thousands of
+golden checks (ROADMAP: "order of magnitude off sweep wall-clock").
+
+This module defines the seam: :class:`ExecutionBackend` produces
+per-instance *executors* (anything with ``run(kernel)``), and the
+:data:`BACKENDS` registry maps names to implementations so the switch
+can be threaded through ``golden_check`` / ``phase_output_digests`` /
+chaos / ``RunConfig`` as a plain string.  Two backends ship:
+
+* ``"interpreter"`` -- the unchanged oracle;
+* ``"numpy"``       -- a lowering of each kernel to whole-array NumPy
+  operations (:mod:`repro.backends.numpy_backend`), byte-identical to
+  the oracle on every shipped kernel (the frozen equivalence fixture
+  pins this) and more than an order of magnitude faster.
+
+``"numpy"`` is the default everywhere precisely *because* the fixture
+gate proves byte-identity; any semantic divergence is a test failure,
+not a tolerance question.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Protocol, runtime_checkable
+
+from repro.compiler.ir import Kernel
+from repro.compiler.program import KernelInstance
+
+
+@runtime_checkable
+class KernelExecutor(Protocol):
+    """What a backend hands out per :class:`KernelInstance`: an object
+    that executes kernels against that instance's bound arrays."""
+
+    def run(self, kernel: Kernel) -> None:  # pragma: no cover - protocol
+        ...
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The pluggable execution seam.
+
+    Implementations are stateless factories: :meth:`executor` builds a
+    fresh executor bound to one instance (one chunk of the mesh), and
+    :meth:`run_kernel` is the one-shot convenience.  ``name`` is the
+    registry spelling used by ``backend=`` keywords, ``RunConfig`` and
+    the ``--backend`` CLI flag.
+    """
+
+    name: str
+
+    def executor(self, instance: KernelInstance,
+                 params: Optional[Mapping[str, float]] = None
+                 ) -> KernelExecutor:  # pragma: no cover - protocol
+        ...
+
+    def run_kernel(self, kernel: Kernel, instance: KernelInstance,
+                   params: Optional[Mapping[str, float]] = None
+                   ) -> None:  # pragma: no cover - protocol
+        ...
+
+
+#: registry: backend name -> implementation (populated on import of
+#: :mod:`repro.backends`; third parties may register their own).
+BACKENDS: dict[str, ExecutionBackend] = {}
+
+#: the default for every ``backend=`` keyword in the validation stack.
+DEFAULT_BACKEND = "numpy"
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Add *backend* to :data:`BACKENDS` under its ``name``."""
+    BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(spec: "str | ExecutionBackend | None") -> ExecutionBackend:
+    """Resolve a backend spec: a registry name, an already-constructed
+    backend (returned as-is), or ``None`` for :data:`DEFAULT_BACKEND`."""
+    if spec is None:
+        spec = DEFAULT_BACKEND
+    if isinstance(spec, str):
+        try:
+            return BACKENDS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown execution backend {spec!r}; known: "
+                f"{sorted(BACKENDS)}") from None
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    raise TypeError(f"not an execution backend: {spec!r}")

@@ -1,0 +1,34 @@
+"""The oracle backend: the tree-walking interpreter, unchanged.
+
+Thin adapter only -- :class:`~repro.compiler.interpreter.Interpreter`
+already satisfies the :class:`~repro.backends.base.KernelExecutor`
+protocol, so this module just gives it a registry name.  Semantics are
+deliberately untouched: this is the reference every other backend is
+measured against, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.backends.base import register_backend
+from repro.compiler.interpreter import Interpreter
+from repro.compiler.ir import Kernel
+from repro.compiler.program import KernelInstance
+
+
+class InterpreterBackend:
+    """Element-by-element reference execution (the semantics oracle)."""
+
+    name = "interpreter"
+
+    def executor(self, instance: KernelInstance,
+                 params: Optional[Mapping[str, float]] = None) -> Interpreter:
+        return Interpreter(instance, params)
+
+    def run_kernel(self, kernel: Kernel, instance: KernelInstance,
+                   params: Optional[Mapping[str, float]] = None) -> None:
+        self.executor(instance, params).run(kernel)
+
+
+INTERPRETER_BACKEND = register_backend(InterpreterBackend())

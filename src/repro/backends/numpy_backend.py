@@ -1,0 +1,455 @@
+"""Whole-array NumPy execution of loop-nest kernels, byte-identical to
+the interpreter.
+
+The lowering turns each :class:`~repro.compiler.ir.Kernel` into a cached
+*execution plan* and then evaluates statements over a broadcast **grid**
+instead of one element at a time:
+
+* every loop the legality analysis clears is joined to the grid as one
+  trailing axis (``ivect`` chunk loops, unrolled ``inode``/``idime``
+  nests, gauss loops without scratch reuse);
+* affine index maps evaluate to integer index arrays over the grid
+  (:func:`repro.compiler.program.eval_index`, shared with the machine
+  model's address streams), ``Indirect`` gathers become fancy indexing;
+* ``If`` guards become boolean masks ANDed down the statement tree;
+* loops the analysis refuses (e.g. the gauss loops of phases 3/6/7,
+  whose bodies reuse ``xjacm``/``gpaux`` scratch across iterations) stay
+  ordinary Python loops around vectorized bodies.
+
+**Why this is bit-exact, not merely close.**  Elementwise IEEE-754
+double arithmetic is identical between Python floats and ``np.float64``
+-- the only way a whole-array execution can diverge from the oracle is
+by *reordering* floating-point accumulation.  So the plan never uses
+axis reductions (``np.sum``'s pairwise summation would re-associate);
+scatter-accumulates lower to ``np.ufunc.at`` over indices flattened in
+iteration order (grid axes are outermost-first, so a C-order ravel *is*
+loop order), which applies duplicate-index additions one at a time in
+exactly the interpreter's sequence.  The legality rules below refuse
+any loop whose vectorization could reorder reads relative to writes or
+interleave statements on a shared location; everything else is provably
+order-preserving.  The frozen fixture in
+``tests/fixtures/backend_equivalence.json`` pins the result.
+
+Known (documented) divergence: the interpreter raises Python's
+``ZeroDivisionError`` / ``math`` domain errors where NumPy produces
+``inf``/``nan`` under ``np.errstate`` suppression.  No shipped kernel
+hits either on valid data; the golden checks would catch it if one did.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.backends.base import register_backend
+from repro.compiler.ir import (
+    Affine,
+    Assign,
+    BinOp,
+    Cond,
+    Const,
+    Expr,
+    If,
+    IndexExpr,
+    Indirect,
+    Kernel,
+    Load,
+    Loop,
+    Param,
+    Ref,
+    Stmt,
+    Unary,
+    walk_loops,
+)
+from repro.compiler.program import KernelInstance, eval_index
+
+_BINOPS = {
+    "add": np.add,
+    "sub": np.subtract,
+    "mul": np.multiply,
+    "div": np.divide,
+    # NaN-propagating by construction; the interpreter pins the same
+    # semantics (see repro.compiler.interpreter._nan_min/_nan_max).
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+_COMPARES = {
+    "lt": np.less,
+    "le": np.less_equal,
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+
+_UNARY = {"neg": np.negative, "abs": np.abs, "sqrt": np.sqrt}
+
+
+# ---------------------------------------------------------------------------
+# Execution plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanAssign:
+    stmt: Assign
+    #: True when the store's index tuple is provably duplicate-free over
+    #: the vectorized grid (every vectorized loop var is *resolved* by
+    #: some affine dim); accumulates may then use buffered fancy ``+=``
+    #: instead of the much slower ordered ``np.add.at``.
+    unique: bool
+
+
+@dataclass(frozen=True)
+class PlanIf:
+    stmt: If
+    body: tuple["PlanNode", ...]
+
+
+@dataclass(frozen=True)
+class PlanLoop:
+    stmt: Loop
+    #: the legality verdict: join this loop to the grid, or iterate it.
+    vectorize: bool
+    body: tuple["PlanNode", ...]
+
+
+PlanNode = Union[PlanAssign, PlanIf, PlanLoop]
+
+#: kernel -> plan cache.  Plans depend only on kernel structure, so one
+#: plan serves every chunk/instance; weak keys let mutated throwaway
+#: kernel lists (chaos drills) be collected.
+_PLANS: "weakref.WeakKeyDictionary[Kernel, tuple[PlanNode, ...]]" = (
+    weakref.WeakKeyDictionary())
+
+
+@dataclass(frozen=True)
+class _Write:
+    """One Assign writing some array, with the extents of every loop var
+    bound *inside* the candidate subtree (outer vars stay symbolic)."""
+
+    stmt: Assign
+    extents: Mapping[str, int]
+
+
+def _resolves(ref: Ref, v: str, loop_vars: frozenset[str]) -> bool:
+    """True if some affine dim of *ref* pins down *v*: nonzero coef on
+    ``v`` and no other loop variable in the dim (named index constants
+    like the chunk base are runtime constants, not loop vars, so they
+    do not spoil resolution).  A resolved var is recoverable from the
+    store location, which is what the ordering proofs need."""
+    for e in ref.idx:
+        if not isinstance(e, Affine):
+            continue
+        if e.coef(v) == 0:
+            continue
+        if all(u == v or u not in loop_vars for u, _ in e.terms):
+            return True
+    return False
+
+
+def _dim_range(aff: Affine, extents: Mapping[str, int]
+               ) -> tuple[int, int, frozenset]:
+    """Value range of one affine dim over the bounded loop vars, plus
+    the residue of symbolic terms (outer loop vars / index constants).
+    Two dims are comparable only when their residues match -- symbolic
+    terms are then equal at any instant and cancel."""
+    lo = hi = aff.const
+    sym = []
+    for u, c in aff.terms:
+        if u in extents:
+            span = c * (extents[u] - 1)
+            lo += min(0, span)
+            hi += max(0, span)
+        else:
+            sym.append((u, c))
+    return lo, hi, frozenset(sym)
+
+
+def _ranges_disjoint(a: _Write, b: _Write) -> bool:
+    """True if the two writes can never touch the same element: some dim
+    where both index ranges are provably non-overlapping (e.g. phase 8's
+    two ``rhsid`` accumulates hitting columns 0..2 vs column 3)."""
+    for ea, eb in zip(a.stmt.ref.idx, b.stmt.ref.idx):
+        if not (isinstance(ea, Affine) and isinstance(eb, Affine)):
+            continue
+        alo, ahi, asym = _dim_range(ea, a.extents)
+        blo, bhi, bsym = _dim_range(eb, b.extents)
+        if asym == bsym and (ahi < blo or bhi < alo):
+            return True
+    return False
+
+
+class _Planner:
+    """Per-kernel legality analysis + plan construction.
+
+    A loop over ``v`` may join the grid iff, within its subtree:
+
+    1. no array is both loaded and stored (vectorizing would let a read
+       see pre-iteration values -- this is what keeps the scratch-reuse
+       gauss loops of phases 3/6/7 sequential);
+    2. any two stores to the same array are range-disjoint, or share the
+       identical index tuple *and* resolve ``v`` (either way the
+       per-location operation sequence survives statement-at-a-time
+       execution);
+    3. every store either resolves ``v`` (its location pins the lane, so
+       per-location order is inherited from the remaining vars), or is
+       an accumulate whose nested loops are all themselves vectorizable
+       -- then the whole sub-nest flattens to one grid and the ordered
+       ``np.add.at`` replays the interpreter's accumulation sequence
+       exactly.  A non-resolving *plain* store could drop "last write
+       wins" semantics, so it refuses the loop outright.
+    """
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.loop_vars = frozenset(l.var for l in walk_loops(kernel.body))
+        self._verdicts: dict[int, bool] = {}
+
+    def plan(self) -> tuple[PlanNode, ...]:
+        return tuple(self._plan_stmt(s, ()) for s in self.kernel.body)
+
+    # -- plan construction -------------------------------------------------
+
+    def _plan_stmt(self, s: Stmt, vec_stack: tuple[str, ...]) -> PlanNode:
+        if isinstance(s, Assign):
+            unique = all(_resolves(s.ref, v, self.loop_vars)
+                         for v in vec_stack)
+            return PlanAssign(s, unique)
+        if isinstance(s, If):
+            return PlanIf(s, tuple(self._plan_stmt(b, vec_stack)
+                                   for b in s.body))
+        if isinstance(s, Loop):
+            vec = self._vectorizable(s)
+            inner = vec_stack + (s.var,) if vec else vec_stack
+            return PlanLoop(s, vec, tuple(self._plan_stmt(b, inner)
+                                          for b in s.body))
+        raise TypeError(f"cannot plan {s!r}")  # pragma: no cover
+
+    # -- legality ----------------------------------------------------------
+
+    def _vectorizable(self, loop: Loop) -> bool:
+        key = id(loop)
+        if key not in self._verdicts:
+            self._verdicts[key] = self._check(loop)
+        return self._verdicts[key]
+
+    def _check(self, loop: Loop) -> bool:
+        v = loop.var
+        reads: set[str] = set()
+        writes: dict[str, list[_Write]] = {}
+        nested: list[Loop] = []
+        self._collect(loop.body, {v: loop.extent.value}, reads, writes,
+                      nested)
+        for name, ws in writes.items():
+            if name in reads:
+                return False
+            for i in range(len(ws)):
+                for j in range(i + 1, len(ws)):
+                    a, b = ws[i], ws[j]
+                    same_ref = (a.stmt.ref.idx == b.stmt.ref.idx
+                                and _resolves(a.stmt.ref, v, self.loop_vars))
+                    if not (same_ref or _ranges_disjoint(a, b)):
+                        return False
+            for w in ws:
+                if _resolves(w.stmt.ref, v, self.loop_vars):
+                    continue
+                if not w.stmt.accumulate:
+                    return False
+                if not all(self._vectorizable(l) for l in nested):
+                    return False
+        return True
+
+    def _collect(self, stmts, extents: dict[str, int], reads: set[str],
+                 writes: dict[str, list[_Write]],
+                 nested: list[Loop]) -> None:
+        for s in stmts:
+            if isinstance(s, Assign):
+                writes.setdefault(s.ref.array.name, []).append(
+                    _Write(s, dict(extents)))
+                for e in s.ref.idx:
+                    self._index_reads(e, reads)
+                self._expr_reads(s.expr, reads)
+            elif isinstance(s, If):
+                self._expr_reads(s.cond.lhs, reads)
+                self._expr_reads(s.cond.rhs, reads)
+                self._collect(s.body, extents, reads, writes, nested)
+            elif isinstance(s, Loop):
+                nested.append(s)
+                self._collect(s.body, {**extents, s.var: s.extent.value},
+                              reads, writes, nested)
+
+    def _expr_reads(self, e: Expr, reads: set[str]) -> None:
+        if isinstance(e, Load):
+            reads.add(e.ref.array.name)
+            for idx in e.ref.idx:
+                self._index_reads(idx, reads)
+        elif isinstance(e, BinOp):
+            self._expr_reads(e.lhs, reads)
+            self._expr_reads(e.rhs, reads)
+        elif isinstance(e, Unary):
+            self._expr_reads(e.x, reads)
+
+    def _index_reads(self, e: IndexExpr, reads: set[str]) -> None:
+        if isinstance(e, Indirect):
+            reads.add(e.array.name)
+            for sub in e.idx:
+                self._index_reads(sub, reads)
+
+
+def plan_kernel(kernel: Kernel) -> tuple[PlanNode, ...]:
+    """The (cached) execution plan of *kernel*."""
+    plan = _PLANS.get(kernel)
+    if plan is None:
+        from repro.obs.tracer import span as _obs_span
+
+        with _obs_span(f"lower {kernel.name}", cat="backend",
+                       phase=kernel.phase, backend="numpy"):
+            plan = _Planner(kernel).plan()
+        _PLANS[kernel] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+class NumpyExecutor:
+    """Grid-evaluate planned kernels against one :class:`KernelInstance`."""
+
+    def __init__(self, instance: KernelInstance,
+                 params: Optional[Mapping[str, float]] = None):
+        self.instance = instance
+        self.params = dict(params or {})
+
+    # -- values ------------------------------------------------------------
+
+    def _eval(self, expr: Expr, env: dict) -> "np.ndarray | float":
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Param):
+            try:
+                return self.params[expr.name]
+            except KeyError:
+                raise KeyError(
+                    f"parameter {expr.name!r} not provided") from None
+        if isinstance(expr, Load):
+            data = self.instance.data(expr.ref.array.name)
+            idx = tuple(eval_index(e, env, self.instance)
+                        for e in expr.ref.idx)
+            return data[idx]
+        if isinstance(expr, BinOp):
+            return _BINOPS[expr.op](self._eval(expr.lhs, env),
+                                    self._eval(expr.rhs, env))
+        if isinstance(expr, Unary):
+            return _UNARY[expr.op](self._eval(expr.x, env))
+        raise TypeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _cond(self, cond: Cond, env: dict) -> "np.ndarray | np.bool_":
+        return _COMPARES[cond.op](self._eval(cond.lhs, env),
+                                  self._eval(cond.rhs, env))
+
+    # -- statements --------------------------------------------------------
+
+    def _assign(self, node: PlanAssign, env: dict, mask, shape) -> None:
+        stmt = node.stmt
+        data = self.instance.ensure_data(stmt.ref.array)
+        val = self._eval(stmt.expr, env)
+        idx = tuple(eval_index(e, env, self.instance) for e in stmt.ref.idx)
+        if shape == ():
+            # fully sequential context: plain element update.
+            pos = tuple(int(i) for i in idx)
+            if stmt.accumulate:
+                data[pos] += val
+            else:
+                data[pos] = val
+            return
+        bidx = tuple(np.broadcast_to(i, shape) for i in idx)
+        vals = np.broadcast_to(np.asarray(val), shape)
+        if mask is not None:
+            m = np.broadcast_to(mask, shape)
+            # boolean selection flattens in C order == iteration order.
+            bidx = tuple(i[m] for i in bidx)
+            vals = vals[m]
+        if stmt.accumulate:
+            if node.unique:
+                data[bidx] += vals
+            else:
+                # duplicate target locations: apply additions one at a
+                # time in flattened-grid (= loop) order.
+                np.add.at(data, tuple(i.ravel() for i in bidx), vals.ravel())
+        else:
+            data[bidx] = vals
+
+    def _exec(self, node: PlanNode, env: dict, mask, shape) -> None:
+        if isinstance(node, PlanAssign):
+            self._assign(node, env, mask, shape)
+        elif isinstance(node, PlanIf):
+            cond = np.asarray(self._cond(node.stmt.cond, env), dtype=bool)
+            if shape == ():
+                if cond:
+                    for b in node.body:
+                        self._exec(b, env, None, ())
+                return
+            new_mask = cond if mask is None else (mask & cond)
+            if not new_mask.any():
+                return
+            for b in node.body:
+                self._exec(b, env, new_mask, shape)
+        else:
+            loop = node.stmt
+            if node.vectorize:
+                # join the loop to the grid: existing axes get a new
+                # trailing axis (views), the new var spans it.
+                inner = {k: (val[..., None] if isinstance(val, np.ndarray)
+                             else val) for k, val in env.items()}
+                inner[loop.var] = np.arange(loop.extent.value,
+                                            dtype=np.int64)
+                inner_mask = mask[..., None] if mask is not None else None
+                for b in node.body:
+                    self._exec(b, inner, inner_mask,
+                               shape + (loop.extent.value,))
+            else:
+                for i in range(loop.extent.value):
+                    env[loop.var] = i
+                    for b in node.body:
+                        self._exec(b, env, mask, shape)
+                env.pop(loop.var, None)
+
+    def run(self, kernel: Kernel) -> None:
+        from repro.obs.tracer import span as _obs_span
+
+        self.params = {**kernel.param_dict(), **self.params}
+        plan = plan_kernel(kernel)
+        # masked-out lanes may divide by zero / sqrt negatives before
+        # their results are discarded -- silence the (unused) warnings.
+        with _obs_span(kernel.name, cat="ir", phase=kernel.phase,
+                       backend="numpy"):
+            with np.errstate(divide="ignore", invalid="ignore",
+                             over="ignore"):
+                env: dict = {}
+                for node in plan:
+                    self._exec(node, env, None, ())
+
+
+class NumpyBackend:
+    """Vectorized whole-array execution (the default backend)."""
+
+    name = "numpy"
+
+    def executor(self, instance: KernelInstance,
+                 params: Optional[Mapping[str, float]] = None
+                 ) -> NumpyExecutor:
+        return NumpyExecutor(instance, params)
+
+    def run_kernel(self, kernel: Kernel, instance: KernelInstance,
+                   params: Optional[Mapping[str, float]] = None) -> None:
+        self.executor(instance, params).run(kernel)
+
+
+NUMPY_BACKEND = register_backend(NumpyBackend())

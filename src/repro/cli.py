@@ -62,6 +62,14 @@ def _add_mesh(p: argparse.ArgumentParser) -> None:
                    help="mesh preset: tiny=64 elements, quick=960, full=7680")
 
 
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", choices=("numpy", "interpreter"),
+                   default="numpy",
+                   help="kernel execution backend for semantic paths "
+                        "(golden checks, digest ladders); results are "
+                        "byte-identical, numpy is ~10x faster")
+
+
 def _add_jobs(p: argparse.ArgumentParser) -> None:
     p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                    help="parallel simulation workers (0 = one per CPU)")
@@ -75,6 +83,7 @@ def _add_validate(p: argparse.ArgumentParser) -> None:
                    help="checkpoint sweep progress to PATH; re-running "
                         "with the same journal resumes an interrupted "
                         "sweep")
+    _add_backend(p)
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -85,13 +94,15 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--opt", default="vec1",
                    choices=("scalar", "vanilla", "vec2", "ivec2", "vec1"))
     p.add_argument("--vs", type=int, default=240, help="VECTOR_SIZE")
+    _add_backend(p)
 
 
 def _run_config(args) -> RunConfig:
     """The one RunConfig a single-run command describes."""
     return RunConfig.from_kwargs(mesh=args.mesh, machine=args.machine,
                                  opt=args.opt, vs=args.vs,
-                                 field_seed=getattr(args, "seed", 0))
+                                 field_seed=getattr(args, "seed", 0),
+                                 backend=getattr(args, "backend", "numpy"))
 
 
 def _jobs(args) -> int:
@@ -105,7 +116,8 @@ def _session(args) -> Session:
     return Session(mesh_dims=_mesh_dims(args.mesh), verbose=True,
                    jobs=_jobs(args),
                    validate=getattr(args, "validate", False),
-                   journal=getattr(args, "journal", None))
+                   journal=getattr(args, "journal", None),
+                   backend=getattr(args, "backend", "numpy"))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -166,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="additionally golden-check every pipeline stage "
                         "of every rung (transformed mode) and prove "
                         "every implemented pass-fault kind is detected")
+    _add_backend(p)
 
     p = sub.add_parser("bench", help="time the sweep executor (serial vs "
                                      "parallel) and write a JSON report")
@@ -355,7 +368,8 @@ def _cmd_chaos(args) -> int:
     rep = run_chaos_campaign(seed=args.seed, mesh=args.mesh,
                              out_dir=args.output, jobs=jobs,
                              verbose=args.verbose,
-                             pass_faults=args.pass_faults)
+                             pass_faults=args.pass_faults,
+                             backend=args.backend)
     rows = [["stage", "fault", "target", "outcome"]]
     for st in rep.stages:
         rows.append([st.name, st.kind, st.target or "-", st.classification])
@@ -373,11 +387,13 @@ def _cmd_chaos(args) -> int:
         from repro.faults.injector import pass_fault_mutator
         from repro.faults.plan import PASS_FAULT_KINDS, PASS_FAULT_RUNGS
         from repro.validation.golden import golden_check
+        from repro.validation.probe import Probe
 
         vrows = [["rung", "pipeline stages", "outcome"]]
         stages_ok = True
         for rung in ("vanilla", "vec2", "ivec2", "vec1"):
-            g = golden_check(rung, transformed=True)
+            g = golden_check(Probe(opt=rung, backend=args.backend),
+                             transformed=True)
             stages_ok &= g.ok
             vrows.append([rung, str(len(g.stages)),
                           "ok" if g.ok else "FAIL"])
@@ -386,7 +402,8 @@ def _cmd_chaos(args) -> int:
         drills_ok = True
         for kind in PASS_FAULT_KINDS:
             rung = PASS_FAULT_RUNGS[kind]
-            bad = golden_check(rung, mutate=pass_fault_mutator(kind))
+            bad = golden_check(Probe(opt=rung, backend=args.backend),
+                               mutate=pass_fault_mutator(kind))
             drills_ok &= not bad.ok
             vrows.append([f"{rung} + {kind}", "fault drill",
                           "detected" if not bad.ok else "SILENT"])

@@ -38,13 +38,29 @@ from repro.compiler.ir import (
 )
 from repro.compiler.program import KernelInstance
 
+def _nan_min(a: float, b: float) -> float:
+    """``np.minimum`` semantics: propagate NaN, first operand on ties.
+
+    Python's builtin ``min`` returns the *non*-NaN operand whenever the
+    NaN comes first (``min(nan, 1.0) == 1.0`` but ``min(1.0, nan) ==
+    nan``), which silently un-poisons half the lanes a chaos campaign
+    injects.  Both backends pin the IEEE-style propagating behaviour.
+    """
+    return a if (a < b or math.isnan(a)) else b
+
+
+def _nan_max(a: float, b: float) -> float:
+    """``np.maximum`` semantics: propagate NaN, first operand on ties."""
+    return a if (a > b or math.isnan(a)) else b
+
+
 _BINOPS = {
     "add": lambda a, b: a + b,
     "sub": lambda a, b: a - b,
     "mul": lambda a, b: a * b,
     "div": lambda a, b: a / b,
-    "min": min,
-    "max": max,
+    "min": _nan_min,
+    "max": _nan_max,
 }
 
 _COMPARES = {
@@ -146,7 +162,8 @@ class Interpreter:
         env: dict[str, int] = {}
         # IR-block span: interpretation is wall-clock work, so kernel
         # spans land on the harness timeline (no-op when tracing is off).
-        with _obs_span(kernel.name, cat="ir", phase=kernel.phase):
+        with _obs_span(kernel.name, cat="ir", phase=kernel.phase,
+                       backend="interpreter"):
             for s in kernel.body:
                 self.exec_stmt(s, env)
 

@@ -26,6 +26,7 @@ from repro.compiler.transforms.pipeline import (
     OPT_PASSES,
     PASS_REGISTRY,
     PassPipeline,
+    legal_schedules,
     opt_for_passes,
     pipeline_for_opt,
     pipeline_from_names,
@@ -41,6 +42,7 @@ __all__ = [
     "PassPipeline",
     "PipelineError",
     "TransformRemark",
+    "legal_schedules",
     "opt_for_passes",
     "pipeline_for_opt",
     "pipeline_from_names",

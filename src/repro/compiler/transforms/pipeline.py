@@ -148,6 +148,30 @@ def pipeline_for_opt(opt: str) -> PassPipeline:
     return pipeline_from_names(names, name=opt)
 
 
+def legal_schedules() -> tuple[tuple[str, ...], ...]:
+    """Every dependency-legal pass schedule over the registry.
+
+    Enumerates all permutations of all subsets of :data:`PASS_REGISTRY`
+    and keeps those that construct without :class:`PipelineError` --
+    the exhaustive ``RunConfig.passes`` vocabulary the backend
+    equivalence gate sweeps.  Deterministic: shortest first, then
+    lexicographic.
+    """
+    from itertools import permutations
+
+    names = sorted(PASS_REGISTRY)
+    out: list[tuple[str, ...]] = []
+    for r in range(len(names) + 1):
+        for combo in permutations(names, r):
+            try:
+                pipeline_from_names(combo)
+            except PipelineError:
+                continue
+            out.append(tuple(combo))
+    out.sort(key=lambda s: (len(s), s))
+    return tuple(out)
+
+
 def opt_for_passes(names: Sequence[str]) -> str | None:
     """The rung label an explicit pass list corresponds to, if any."""
     spelled = tuple(names)

@@ -82,6 +82,10 @@ class RunConfig:
     #: ``opt`` maps to" (see ``repro.compiler.transforms.OPT_PASSES``).
     #: When set, it overrides the rung's pass list.
     passes: tuple[str, ...] | None = None
+    #: kernel-execution backend for the semantic paths hanging off this
+    #: config (golden checks, digest ladders, chaos drills); the timing
+    #: model is backend-independent.  See ``repro.backends.BACKENDS``.
+    backend: str = "numpy"
 
     @classmethod
     def from_kwargs(cls, mesh: MeshSpec | None = None, **kwargs) -> "RunConfig":
@@ -99,7 +103,7 @@ class RunConfig:
         if kwargs.get("passes") is not None:
             kwargs["passes"] = tuple(kwargs["passes"])
         known = {"machine", "opt", "vector_size", "cache_enabled",
-                 "field_seed", "passes"}
+                 "field_seed", "passes", "backend"}
         unknown = set(kwargs) - known
         if unknown:
             raise TypeError(f"unknown RunConfig argument(s): {sorted(unknown)}")
@@ -115,4 +119,9 @@ class RunConfig:
         )
         if self.passes is not None:
             key += f"-passes[{','.join(self.passes)}]"
+        if self.backend != "numpy":
+            # timing payloads are backend-independent, but semantic
+            # artifacts (digest files) are keyed per config; keep the
+            # default spelling stable for existing caches/baselines.
+            key += f"-be[{self.backend}]"
         return key

@@ -70,8 +70,13 @@ class Session:
                  timeout_s: Optional[float] = None,
                  retries: int = 1,
                  validate: bool = False,
-                 journal: Optional[str | os.PathLike] = None):
+                 journal: Optional[str | os.PathLike] = None,
+                 backend: str = "numpy"):
         self.mesh_dims = tuple(mesh_dims)
+        #: execution backend stamped on configs built by this session
+        #: (see ``RunConfig.backend``); timing results are identical
+        #: across backends, only semantic validation work is affected.
+        self.backend = backend
         self.cache_dir = Path(cache_dir)
         if use_disk is None:
             use_disk = os.environ.get("REPRO_CACHE", "1") != "0"
@@ -103,7 +108,9 @@ class Session:
     # ------------------------------------------------------------------
 
     def config(self, **kwargs) -> RunConfig:
-        """A :class:`RunConfig` bound to this session's mesh."""
+        """A :class:`RunConfig` bound to this session's mesh (and
+        execution backend, unless overridden)."""
+        kwargs.setdefault("backend", self.backend)
         return RunConfig.from_kwargs(mesh=self.mesh_dims, **kwargs)
 
     def _disk_path(self, cfg: RunConfig) -> Path:
@@ -133,7 +140,8 @@ class Session:
         else:
             cfg = RunConfig(machine=machine, opt=opt, vector_size=vector_size,
                             mesh_dims=self.mesh_dims,
-                            cache_enabled=cache_enabled, field_seed=field_seed)
+                            cache_enabled=cache_enabled, field_seed=field_seed,
+                            backend=self.backend)
         key = cfg.key()
         if key in self._memo:
             return self._memo[key]

@@ -165,15 +165,20 @@ def run_chaos_campaign(seed: int = 0,
                        jobs: int = 2,
                        timeout_s: float = 2.0,
                        verbose: bool = False,
-                       pass_faults: bool = False) -> ChaosReport:
+                       pass_faults: bool = False,
+                       backend: str = "numpy") -> ChaosReport:
     """Run the full seeded campaign; see the module docstring.
 
     With ``pass_faults=True`` the three compiler-model fault kinds are
-    armed as additional sweep stages.  When *out_dir* is given the
-    report is written there as ``chaos-report.json`` (plus
-    ``chaos-summary.md``, the markdown classification table).  All
-    scratch state (caches, journals, strike markers, digest files) lives
-    in a temporary directory and is removed afterwards.
+    armed as additional sweep stages.  ``backend`` selects the kernel
+    execution backend for every semantic stage (digest ladders, golden
+    drills); honest results are byte-identical across backends, so the
+    report does not depend on the choice — only the wall-clock does.
+    When *out_dir* is given the report is written there as
+    ``chaos-report.json`` (plus ``chaos-summary.md``, the markdown
+    classification table).  All scratch state (caches, journals, strike
+    markers, digest files) lives in a temporary directory and is
+    removed afterwards.
     """
     dims = resolve_mesh(mesh)
     plan = ExecutionPlan.ladder(mesh=dims)
@@ -330,6 +335,7 @@ def run_chaos_campaign(seed: int = 0,
             from repro.faults.plan import PASS_FAULT_KINDS, PASS_FAULT_RUNGS
             from repro.validation.golden import golden_check as _gcheck
             from repro.validation.invariants import check_phase_digest_ladder
+            from repro.validation.probe import Probe as _Probe
 
             for kind in PASS_FAULT_KINDS:
                 spec = pplan.spec_for(kind)
@@ -340,7 +346,8 @@ def run_chaos_campaign(seed: int = 0,
                 cache = scratch / name
                 ddir = scratch / f"{name}.digests"
                 worker = PassFaultyWorker(kind, spec.target_key,
-                                          scratch / f"{name}.markers", ddir)
+                                          scratch / f"{name}.markers", ddir,
+                                          backend=backend)
                 evs5: list[RunEvent] = []
                 res = execute_plan(plan, cache_dir=cache, jobs=1,
                                    validate=True, worker=worker,
@@ -354,7 +361,8 @@ def run_chaos_campaign(seed: int = 0,
                 verdict_flagged = spec.target_key in res.invalid_keys()
                 # the drill: the same tampered pipeline must also fail
                 # the golden reference cross-check on its rung.
-                drill = _gcheck(rung, mutate=pass_fault_mutator(kind))
+                drill = _gcheck(_Probe(opt=rung, backend=backend),
+                                mutate=pass_fault_mutator(kind))
                 # counter-side signature: these faults conserve FLOPs,
                 # which is exactly why the digest invariant must exist.
                 t_run = res.runs.get(spec.target_key)
@@ -388,10 +396,11 @@ def run_chaos_campaign(seed: int = 0,
 
         # -- golden drills: clean pass + poisoned phase array -------------
         from repro.validation.golden import golden_check
+        from repro.validation.probe import Probe
 
         rung = ["vanilla", "vec2", "ivec2", "vec1"][seed % 4]
         note(f"stage golden ({rung})")
-        g_clean = golden_check(rung)
+        g_clean = golden_check(Probe(opt=rung, backend=backend))
         report.stages.append(StageReport(
             name="golden-clean", kind="none", target=rung,
             classification=CLEAN if g_clean.ok else SILENT,
@@ -403,7 +412,8 @@ def run_chaos_campaign(seed: int = 0,
             if phase == 4 and chunk_index == 0:
                 arr = np.asarray(inst.data("gpvel"))
                 flip_float64_bit(arr, index=0, bit=40)
-        g_bad = golden_check(rung, corrupt=poison)
+        g_bad = golden_check(Probe(opt=rung, backend=backend),
+                             corrupt=poison)
         pinned = any("phase 4" in v for v in g_bad.violations)
         report.stages.append(StageReport(
             name="golden-bitflip", kind="bitflip_lane", target=rung,

@@ -319,7 +319,8 @@ class PassFaultyWorker:
     def __init__(self, kind: str, target_key: str,
                  marker_dir: str | os.PathLike,
                  digest_dir: str | os.PathLike,
-                 field_seed: int = 0):
+                 field_seed: int = 0,
+                 backend: str = "numpy"):
         if kind not in PASS_FAULT_MUTATORS:
             pass_fault_mutator(kind)  # raises NotImplementedError loudly
         self.kind = kind
@@ -327,6 +328,7 @@ class PassFaultyWorker:
         self.marker_dir = str(marker_dir)
         self.digest_dir = str(digest_dir)
         self.field_seed = field_seed
+        self.backend = backend
 
     def _simulate(self, cfg: RunConfig, mutate) -> tuple[dict, dict]:
         """Counters + probe digests for *cfg*, from mutated kernels."""
@@ -337,11 +339,13 @@ class PassFaultyWorker:
         from repro.machine.machines import get_machine
         from repro.metrics.counters import counters_to_dict
         from repro.validation.digests import phase_output_digests
+        from repro.validation.probe import Probe
 
+        probe = Probe(opt=cfg.opt, field_seed=self.field_seed,
+                      backend=self.backend)
         if mutate is None:
             payload = simulate_to_dict(cfg)
-            digests = phase_output_digests(cfg.opt,
-                                           field_seed=self.field_seed)
+            digests = phase_output_digests(probe)
         else:
             from repro.compiler.program import compile_kernels
 
@@ -352,8 +356,7 @@ class PassFaultyWorker:
             app.kernels = result.kernels
             app.compiled = result.compiled
             payload = counters_to_dict(app.run_timed(params, machine=machine))
-            digests = phase_output_digests(cfg.opt, mutate=mutate,
-                                           field_seed=self.field_seed)
+            digests = phase_output_digests(probe, mutate=mutate)
         out = Path(self.digest_dir)
         out.mkdir(parents=True, exist_ok=True)
         (out / f"{cfg.key()}.json").write_text(json.dumps(

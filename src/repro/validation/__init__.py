@@ -24,9 +24,13 @@ from repro.validation.invariants import (
 )
 from repro.validation.digests import phase_output_digests
 from repro.validation.golden import GoldenReport, golden_check
+from repro.validation.probe import PROBE_MESH, PROBE_VECTOR_SIZE, Probe
 
 __all__ = [
     "GoldenReport",
+    "PROBE_MESH",
+    "PROBE_VECTOR_SIZE",
+    "Probe",
     "check_flop_ladder",
     "check_phase_counters",
     "check_phase_digest_ladder",

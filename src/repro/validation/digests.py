@@ -1,7 +1,7 @@
 """Per-phase golden output digests: the cross-rung semantic fingerprint.
 
 Every optimization rung is a pure performance transformation, so the
-*interpreted* outputs of each phase on a fixed probe configuration are
+executed outputs of each phase on a fixed probe configuration are
 bit-identical across the whole ladder — scalar through vec1 produce the
 same bytes phase by phase (the legal passes only restructure loops whose
 iterations are independent, and iteration order within a phase's
@@ -17,6 +17,10 @@ check stays green — but the first phase whose semantics changed diverges
 from the majority digest, pinning both the struck run and the phase
 (see :func:`repro.validation.invariants.check_phase_digest_ladder`).
 
+Execution goes through a registered backend (:mod:`repro.backends`);
+the digest is *backend-invariant* by construction — the vectorized
+``"numpy"`` default is byte-identical to the ``"interpreter"`` oracle,
+and ``tests/backends/test_equivalence_fixture.py`` freezes that claim.
 The digest is a pure function of ``(kernels, field_seed)`` on the fixed
 probe; notably it does **not** depend on the run's own mesh or
 VECTOR_SIZE (different probe vector sizes pad differently and are *not*
@@ -26,28 +30,23 @@ comparable, which is why the probe size is pinned).
 from __future__ import annotations
 
 import hashlib
+from dataclasses import replace
 from functools import lru_cache
 from typing import Optional
 
 import numpy as np
 
-from repro.validation.golden import (
-    MutateHook,
-    PROBE_MESH,
-    PROBE_VECTOR_SIZE,
-)
+from repro.validation.golden import MutateHook
+from repro.validation.probe import Probe, resolve_probe
 
 
-def _compute_digests(opt: str, field_seed: int,
-                     mesh_dims: tuple[int, int, int], vector_size: int,
+def _compute_digests(probe: Probe,
                      mutate: Optional[MutateHook]) -> dict[int, str]:
-    from repro.cfd.assembly import MiniApp
-    from repro.cfd.mesh import box_mesh
+    from repro.backends import get_backend
     from repro.cfd.reference import PHASE_OUTPUTS
-    from repro.compiler.interpreter import Interpreter
 
-    app = MiniApp(box_mesh(*mesh_dims), vector_size, opt,
-                  field_seed=field_seed)
+    backend = get_backend(probe.backend)
+    app = probe.build_app()
     kernels = list(app.kernels)
     if mutate is not None:
         kernels = mutate(kernels)
@@ -57,9 +56,9 @@ def _compute_digests(opt: str, field_seed: int,
     for chunk in app.chunks:
         inst = app.context.instance_for_chunk(chunk, with_data=True,
                                               globals_data=globals_data)
-        interp = Interpreter(inst, app.context.params)
+        executor = backend.executor(inst, app.context.params)
         for kern in kernels:
-            interp.run(kern)
+            executor.run(kern)
             for name in PHASE_OUTPUTS[kern.phase]:
                 arr = np.ascontiguousarray(
                     np.asarray(inst.data(name), dtype=np.float64))
@@ -67,32 +66,42 @@ def _compute_digests(opt: str, field_seed: int,
     return {phase: h.hexdigest() for phase, h in sorted(hashers.items())}
 
 
-@lru_cache(maxsize=32)
-def _honest_digests(opt: str, field_seed: int,
-                    mesh_dims: tuple[int, int, int],
-                    vector_size: int) -> tuple[tuple[int, str], ...]:
-    """Memoized honest-pipeline digests (the interpreter is slow and a
-    chaos campaign fingerprints the same rungs many times over)."""
-    return tuple(sorted(_compute_digests(opt, field_seed, mesh_dims,
-                                         vector_size, None).items()))
+@lru_cache(maxsize=64)
+def _honest_digests(probe: Probe) -> tuple[tuple[int, str], ...]:
+    """Memoized honest-pipeline digests, keyed by the (frozen, hashable)
+    probe -- a chaos campaign fingerprints the same rungs many times
+    over.  Tolerances are irrelevant to digests, so they are normalized
+    out of the key to avoid duplicate cache entries."""
+    return tuple(sorted(_compute_digests(probe, None).items()))
 
 
-def phase_output_digests(opt: str,
+def phase_output_digests(opt: "str | Probe" = "vanilla",
                          *,
-                         field_seed: int = 0,
+                         probe: Optional[Probe] = None,
+                         backend: Optional[str] = None,
                          mutate: Optional[MutateHook] = None,
-                         mesh_dims: tuple[int, int, int] = PROBE_MESH,
-                         vector_size: int = PROBE_VECTOR_SIZE
+                         field_seed: Optional[int] = None,
+                         mesh_dims: Optional[tuple[int, int, int]] = None,
+                         vector_size: Optional[int] = None
                          ) -> dict[int, str]:
-    """SHA-256 fingerprint of every phase's interpreted outputs.
+    """SHA-256 fingerprint of every phase's executed outputs.
 
-    Interprets the (optionally ``mutate``-tampered) kernels of one rung
-    on the golden probe, hashing each phase's output arrays across all
-    chunks.  Honest rungs all return the same digests; a tampered
-    pipeline diverges at the first semantically-changed phase.
+    Accepts the same :class:`Probe` conventions as ``golden_check``: a
+    probe (positional or ``probe=``), a bare rung string, or the
+    deprecated per-field keywords.  ``backend=`` overrides the probe's
+    execution backend; honest digests are identical whichever backend
+    computes them.
+
+    Runs the (optionally ``mutate``-tampered) kernels of one rung on the
+    golden probe, hashing each phase's output arrays across all chunks.
+    Honest rungs all return the same digests; a tampered pipeline
+    diverges at the first semantically-changed phase.
     """
+    spec = resolve_probe(opt, probe, backend=backend,
+                         caller="phase_output_digests",
+                         field_seed=field_seed, mesh_dims=mesh_dims,
+                         vector_size=vector_size)
     if mutate is None:
-        return dict(_honest_digests(opt, field_seed, tuple(mesh_dims),
-                                    vector_size))
-    return _compute_digests(opt, field_seed, tuple(mesh_dims), vector_size,
-                            mutate)
+        key = replace(spec, rtol=Probe.rtol, atol=Probe.atol)
+        return dict(_honest_digests(key))
+    return _compute_digests(spec, mutate)

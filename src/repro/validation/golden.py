@@ -2,19 +2,23 @@
 
 The reproduction's timing results are only meaningful if the compiled
 kernels compute the same mathematics as the paper's mini-app.  This
-module turns the test-suite argument (``interpreter == reference``) into
-a runtime validator: :func:`golden_check` interprets the IR kernels of
-one optimization rung chunk by chunk and, **after every phase**,
+module turns the test-suite argument (``executed kernels == reference``)
+into a runtime validator: :func:`golden_check` executes the IR kernels
+of one optimization rung chunk by chunk -- through any registered
+execution backend (:mod:`repro.backends`) -- and, **after every phase**,
 compares that phase's output arrays -- and ultimately the assembled
 global RHS and CSR matrix -- against :mod:`repro.cfd.reference` within
 tolerance.
 
-Because the IR interpreter is deliberately slow, golden checks run on a
-small probe mesh (the semantics of a rung do not depend on mesh size or
-VECTOR_SIZE beyond tail padding, which the probe exercises).  The chaos
-harness (:mod:`repro.faults`) additionally injects numeric faults
-through the ``corrupt`` hook to prove a poisoned lane is *detected* and
-pinned to the phase it struck.
+Golden checks run on a small probe mesh described by a shared
+:class:`~repro.validation.probe.Probe` spec (the semantics of a rung do
+not depend on mesh size or VECTOR_SIZE beyond tail padding, which the
+probe exercises).  The default backend is the vectorized ``"numpy"``
+lowering, proven byte-identical to the ``"interpreter"`` oracle by the
+frozen equivalence fixture; sweeps that used to take minutes take
+seconds.  The chaos harness (:mod:`repro.faults`) additionally injects
+numeric faults through the ``corrupt`` hook to prove a poisoned lane is
+*detected* and pinned to the phase it struck.
 """
 
 from __future__ import annotations
@@ -24,23 +28,23 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.backends import DEFAULT_BACKEND, get_backend
 from repro.cfd.assembly import MiniApp
-from repro.cfd.mesh import box_mesh
 from repro.cfd.reference import PHASE_OUTPUTS, REF_PHASES
-from repro.compiler.interpreter import Interpreter
 from repro.compiler.ir import Kernel
-
-#: default probe: 12 elements; VECTOR_SIZE=8 pads the tail chunk, so the
-#: padding path is validated too (mirrors tests/cfd/test_semantics.py).
-PROBE_MESH: tuple[int, int, int] = (3, 2, 2)
-PROBE_VECTOR_SIZE = 8
+from repro.validation.probe import (
+    PROBE_MESH,
+    PROBE_VECTOR_SIZE,
+    Probe,
+    resolve_probe,
+)
 
 #: corruption hook: (instance, phase_id, chunk_index) -> None, called
-#: after the interpreter ran the phase and before the cross-check.
+#: after the backend ran the phase and before the cross-check.
 CorruptHook = Callable[[object, int, int], None]
 
 #: kernel-mutation hook: kernels -> kernels, applied before
-#: interpretation (the chaos harness's entry point for mis-legalized
+#: execution (the chaos harness's entry point for mis-legalized
 #: transformation faults: a pass product is tampered with and the
 #: golden check must catch the semantic change).
 MutateHook = Callable[[list[Kernel]], list[Kernel]]
@@ -55,6 +59,7 @@ class GoldenReport:
     mesh_dims: tuple[int, int, int]
     rtol: float
     atol: float
+    backend: str = DEFAULT_BACKEND
     #: worst absolute deviation seen per phase (diagnostics).
     max_abs_error: dict[int, float] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
@@ -71,6 +76,7 @@ class GoldenReport:
             "opt": self.opt,
             "vector_size": self.vector_size,
             "mesh_dims": list(self.mesh_dims),
+            "backend": self.backend,
             "ok": self.ok,
             "violations": list(self.violations),
             "max_abs_error": {str(p): e for p, e in
@@ -83,11 +89,13 @@ def _check_kernels(report: GoldenReport, app: MiniApp,
                    kernels: list[Kernel], *, stage: str = "",
                    max_violations: int = 20,
                    corrupt: Optional[CorruptHook] = None) -> None:
-    """Interpret *kernels* against the NumPy reference on *app*'s probe
-    mesh, appending violations (labelled *stage*) to *report*."""
+    """Execute *kernels* (via ``report.backend``) against the NumPy
+    reference on *app*'s probe mesh, appending violations (labelled
+    *stage*) to *report*."""
     ctx = app.context
+    backend = get_backend(report.backend)
 
-    # Interpreter side: globals bound by reference into each instance.
+    # Backend side: globals bound by reference into each instance.
     gdata = app.global_float_data()
     globals_data = {**gdata, "elpos": app.elpos}
 
@@ -107,10 +115,10 @@ def _check_kernels(report: GoldenReport, app: MiniApp,
         # fresh chunk-local scratch, mirroring the instance's zeroed data.
         for arr in local_arrays:
             ref_data[arr.name] = np.zeros(arr.shape)
-        interp = Interpreter(inst, ctx.params)
+        executor = backend.executor(inst, ctx.params)
         for kern in kernels:
             phase = kern.phase
-            interp.run(kern)
+            executor.run(kern)
             if corrupt is not None:
                 corrupt(inst, phase, chunk.index)
             REF_PHASES[phase - 1](ref_data, ctx.params, chunk.elements)
@@ -130,37 +138,52 @@ def _check_kernels(report: GoldenReport, app: MiniApp,
                         f"max abs error {err:.3e}")
 
 
-def golden_check(opt: str,
-                 vector_size: int = PROBE_VECTOR_SIZE,
-                 mesh_dims: tuple[int, int, int] = PROBE_MESH,
+def golden_check(opt: "str | Probe" = "vanilla",
+                 vector_size: Optional[int] = None,
+                 mesh_dims: Optional[tuple[int, int, int]] = None,
                  *,
-                 field_seed: int = 0,
-                 rtol: float = 1e-9,
-                 atol: float = 1e-12,
+                 probe: Optional[Probe] = None,
+                 backend: Optional[str] = None,
+                 field_seed: Optional[int] = None,
+                 rtol: Optional[float] = None,
+                 atol: Optional[float] = None,
                  max_violations: int = 20,
                  corrupt: Optional[CorruptHook] = None,
                  transformed: bool = False,
                  mutate: Optional[MutateHook] = None) -> GoldenReport:
     """Cross-check one optimization rung against the golden reference.
 
-    Runs the interpreted IR kernels and the NumPy reference side by side
-    over every chunk of a probe mesh, comparing each phase's output
-    arrays (see :data:`repro.cfd.reference.PHASE_OUTPUTS`) after the
-    phase executes.  Both sides start from byte-identical field data, so
-    agreement is expected to machine precision.
+    The probe configuration is a :class:`Probe` -- pass one positionally
+    (``golden_check(Probe(opt="vec1", backend="interpreter"))``) or as
+    ``probe=``; a bare rung string selects the default probe for that
+    rung.  ``backend=`` overrides the probe's execution backend.  The
+    remaining per-field keywords (``vector_size``, ``mesh_dims``,
+    ``field_seed``, ``rtol``, ``atol``) are deprecated shims that warn
+    and fold into a Probe.
+
+    Runs the IR kernels (through the selected backend) and the NumPy
+    reference side by side over every chunk of the probe mesh, comparing
+    each phase's output arrays (see
+    :data:`repro.cfd.reference.PHASE_OUTPUTS`) after the phase executes.
+    Both sides start from byte-identical field data, so agreement is
+    expected to machine precision.
 
     With ``transformed=True``, every *prefix* of the rung's pass
     pipeline is validated separately -- the baseline kernels, then the
     kernels after each pass in turn -- so a mis-legalized transformation
     is pinned to the pass that introduced it, not just to the rung.
-    ``mutate`` rewrites the (final-stage) kernel list before
-    interpretation; the chaos harness uses it to prove tampered pass
-    output is *detected*.
+    ``mutate`` rewrites the (final-stage) kernel list before execution;
+    the chaos harness uses it to prove tampered pass output is
+    *detected*.
     """
-    report = GoldenReport(opt=opt, vector_size=vector_size,
-                          mesh_dims=tuple(mesh_dims), rtol=rtol, atol=atol)
-    app = MiniApp(box_mesh(*mesh_dims), vector_size, opt,
-                  field_seed=field_seed)
+    spec = resolve_probe(opt, probe, backend=backend,
+                         caller="golden_check",
+                         vector_size=vector_size, mesh_dims=mesh_dims,
+                         field_seed=field_seed, rtol=rtol, atol=atol)
+    report = GoldenReport(opt=spec.opt, vector_size=spec.vector_size,
+                          mesh_dims=spec.mesh_dims, rtol=spec.rtol,
+                          atol=spec.atol, backend=spec.backend)
+    app = spec.build_app()
 
     if transformed:
         for prefix in app.pipeline.prefixes():

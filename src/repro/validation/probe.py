@@ -1,0 +1,100 @@
+"""The shared probe specification for semantic validation.
+
+``golden_check`` and ``phase_output_digests`` used to duplicate the same
+pile of keywords (``opt``, ``vector_size``, ``mesh_dims``,
+``field_seed``, tolerances) -- :class:`Probe` collapses them into one
+frozen, hashable value object that *is* the validation configuration:
+what rung (or explicit pass schedule) to compile, on what probe mesh,
+from which seeded fields, executed by which backend, compared how.
+
+Being frozen and hashable, a ``Probe`` doubles as the memoization key of
+the honest digest cache, and ``replace(probe, ...)`` gives cheap
+variants (the chaos campaign swaps ``opt`` per rung, the equivalence
+gate swaps ``backend``).
+
+The old keyword spellings survive as deprecation shims:
+``golden_check("vec1", vector_size=16)`` still works but warns; the
+supported form is ``golden_check(Probe(opt="vec1", vector_size=16))``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.backends import DEFAULT_BACKEND
+
+#: default probe: 12 elements; VECTOR_SIZE=8 pads the tail chunk, so the
+#: padding path is validated too (mirrors tests/cfd/test_semantics.py).
+PROBE_MESH: tuple[int, int, int] = (3, 2, 2)
+PROBE_VECTOR_SIZE = 8
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One semantic-validation configuration.
+
+    Every field has the pinned-probe default, so ``Probe(opt="vec1")``
+    is the usual spelling.  ``passes`` overrides the rung's pass
+    schedule (same contract as ``RunConfig.passes``); ``backend`` names
+    the :mod:`repro.backends` implementation that executes the kernels.
+    """
+
+    opt: str = "vanilla"
+    vector_size: int = PROBE_VECTOR_SIZE
+    mesh_dims: tuple[int, int, int] = PROBE_MESH
+    field_seed: int = 0
+    rtol: float = 1e-9
+    atol: float = 1e-12
+    backend: str = DEFAULT_BACKEND
+    passes: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mesh_dims", tuple(self.mesh_dims))
+        if self.passes is not None:
+            object.__setattr__(self, "passes", tuple(self.passes))
+
+    def build_app(self):
+        """The compiled mini-app this probe validates (imports deferred:
+        validation sits above cfd in the layer diagram)."""
+        from repro.cfd.assembly import MiniApp
+        from repro.cfd.mesh import box_mesh
+
+        return MiniApp(box_mesh(*self.mesh_dims), self.vector_size,
+                       self.opt, field_seed=self.field_seed,
+                       passes=self.passes)
+
+
+def resolve_probe(opt_or_probe: "str | Probe", probe: Optional[Probe],
+                  *, backend: Optional[str] = None, caller: str = "",
+                  **legacy) -> Probe:
+    """Normalize the ``(opt | Probe, probe=, legacy kwargs)`` calling
+    conventions of the validation entry points to one :class:`Probe`.
+
+    A non-``None`` legacy keyword (``vector_size``, ``mesh_dims``,
+    ``field_seed``, ``rtol``, ``atol``) emits a ``DeprecationWarning``
+    and is folded into the probe; mixing them with an explicit ``Probe``
+    is a ``TypeError``.  ``backend=`` is first-class (not deprecated)
+    and overrides the probe's.
+    """
+    if isinstance(opt_or_probe, Probe):
+        if probe is not None:
+            raise TypeError("pass the Probe positionally or as probe=, "
+                            "not both")
+        probe = opt_or_probe
+    used = {k: v for k, v in legacy.items() if v is not None}
+    if probe is not None:
+        if used:
+            raise TypeError(
+                f"cannot combine probe= with the deprecated keyword(s) "
+                f"{sorted(used)}; set them on the Probe instead")
+        return replace(probe, backend=backend) if backend else probe
+    if used:
+        warnings.warn(
+            f"the {sorted(used)} keyword(s) of {caller or 'this function'} "
+            f"are deprecated; pass a Probe(...) instead",
+            DeprecationWarning, stacklevel=3)
+    if backend is not None:
+        used["backend"] = backend
+    return Probe(opt=opt_or_probe, **used)
