@@ -18,7 +18,17 @@ command per artifact or workflow:
 * ``trace``                     -- run under the observability tracer;
   exports Paraver text (``.prv`` + ``.pcf``/``.row``) and, with
   ``--out``, a Chrome ``trace_event`` JSON for ``chrome://tracing``;
-* ``chaos``                     -- seeded fault-injection campaign + report.
+* ``chaos``                     -- seeded fault-injection campaign + report;
+  with ``--service-faults`` the sweep-service drills (kill-mid-sweep,
+  torn store shard, submission flood, hung worker, breaker storm) run
+  as extra stages;
+* ``serve``                     -- run the supervised sweep service on a
+  unix socket: durable job queue, admission control, circuit breaker,
+  content-addressed result store (see ``repro.service``);
+* ``submit``                    -- submit a sweep to a running service
+  (``--ladder`` for the full rung ladder) and optionally wait/stream;
+* ``jobs``                      -- inspect a running service: job table,
+  single-job view, results, health, drain, shutdown.
 
 Sweep-shaped commands (``table`` / ``figure`` / ``sweep`` / ``report`` /
 ``bench``) accept ``--jobs/-j N`` to fan uncached simulations across a
@@ -63,8 +73,14 @@ def _add_mesh(p: argparse.ArgumentParser) -> None:
 
 
 def _add_backend(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--backend", choices=("numpy", "interpreter"),
-                   default="numpy",
+    # choices come from the live registry, so a backend registered via
+    # repro.backends.register_backend is selectable here too — and an
+    # unknown name gets argparse's friendly error listing the registry
+    # keys instead of a bare KeyError deep in the stack.
+    from repro.backends import BACKENDS, DEFAULT_BACKEND
+
+    p.add_argument("--backend", choices=sorted(BACKENDS),
+                   default=DEFAULT_BACKEND,
                    help="kernel execution backend for semantic paths "
                         "(golden checks, digest ladders); results are "
                         "byte-identical, numpy is ~10x faster")
@@ -178,7 +194,71 @@ def build_parser() -> argparse.ArgumentParser:
                    help="additionally golden-check every pipeline stage "
                         "of every rung (transformed mode) and prove "
                         "every implemented pass-fault kind is detected")
+    p.add_argument("--service-faults", action="store_true",
+                   help="also drill the sweep service: kill-mid-sweep, "
+                        "torn store shard, submission flood, hung "
+                        "worker, circuit-breaker storm — every fault "
+                        "must classify recovered/detected/rejected")
+    p.add_argument("--service-only", action="store_true",
+                   help="run only the service drills (fast CI path); "
+                        "implies --service-faults")
+    p.add_argument("--no-kill", action="store_true",
+                   help="skip the subprocess SIGKILL drill (keeps the "
+                        "service report byte-deterministic)")
     _add_backend(p)
+
+    p = sub.add_parser("serve", help="run the supervised sweep service "
+                                     "(durable queue + result store) on "
+                                     "a unix socket")
+    p.add_argument("--state-dir", default="sweep-service", metavar="DIR",
+                   help="service state: journal, result store, run cache "
+                        "(default ./sweep-service); restarting on the "
+                        "same dir resumes in-flight jobs")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="unix socket path (default STATE_DIR/service.sock)")
+    _add_jobs(p)
+    p.add_argument("--timeout-s", type=float, default=30.0,
+                   help="per-run wall-clock budget (default 30)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="per-run retry budget (default 1)")
+    p.add_argument("--validate", action="store_true",
+                   help="cross-check every run against the counter "
+                        "invariants")
+    p.add_argument("--worker-delay", type=float, default=0.0,
+                   metavar="SECONDS", help=argparse.SUPPRESS)  # chaos hook
+
+    p = sub.add_parser("submit", help="submit a sweep to a running "
+                                      "service")
+    p.add_argument("--socket", default="sweep-service/service.sock",
+                   metavar="PATH", help="service socket path")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for admission control / accounting")
+    p.add_argument("--priority", type=float, default=0.0,
+                   help="scheduling priority (higher runs first; queued "
+                        "jobs age upward so low priority never starves)")
+    p.add_argument("--ladder", action="store_true",
+                   help="submit the full optimization ladder for --mesh "
+                        "instead of the single --machine/--opt/--vs run")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job reaches a terminal state")
+    p.add_argument("--stream", action="store_true",
+                   help="stream run events live until the job finishes")
+    _add_common(p)
+
+    p = sub.add_parser("jobs", help="inspect a running sweep service")
+    p.add_argument("--socket", default="sweep-service/service.sock",
+                   metavar="PATH", help="service socket path")
+    p.add_argument("--job", default=None, metavar="ID",
+                   help="show one job instead of the whole table")
+    p.add_argument("--results", action="store_true",
+                   help="with --job: fetch the completed payloads (JSON)")
+    p.add_argument("--health", action="store_true",
+                   help="print the service health document (JSON)")
+    p.add_argument("--drain", action="store_true",
+                   help="stop admissions; queued jobs finish, then the "
+                        "service exits")
+    p.add_argument("--shutdown", action="store_true",
+                   help="stop the service after the running job")
 
     p = sub.add_parser("bench", help="time the sweep executor (serial vs "
                                      "parallel) and write a JSON report")
@@ -364,20 +444,29 @@ def _cmd_bench(args) -> int:
 def _cmd_chaos(args) -> int:
     from repro.faults import run_chaos_campaign
 
-    jobs = max(2, _jobs(args))  # kill/hang stages need a real pool
-    rep = run_chaos_campaign(seed=args.seed, mesh=args.mesh,
-                             out_dir=args.output, jobs=jobs,
-                             verbose=args.verbose,
-                             pass_faults=args.pass_faults,
-                             backend=args.backend)
+    if args.service_only:
+        from repro.service.chaos import run_service_campaign
+
+        rep = run_service_campaign(seed=args.seed, mesh=args.mesh,
+                                   out_dir=args.output,
+                                   verbose=args.verbose,
+                                   include_kill=not args.no_kill)
+    else:
+        jobs = max(2, _jobs(args))  # kill/hang stages need a real pool
+        rep = run_chaos_campaign(seed=args.seed, mesh=args.mesh,
+                                 out_dir=args.output, jobs=jobs,
+                                 verbose=args.verbose,
+                                 pass_faults=args.pass_faults,
+                                 service_faults=args.service_faults,
+                                 backend=args.backend)
     rows = [["stage", "fault", "target", "outcome"]]
     for st in rep.stages:
         rows.append([st.name, st.kind, st.target or "-", st.classification])
     print(report.format_table(rows))
     counts = rep.counts
     print(f"\nseed {rep.seed}: {counts['recovered']} recovered, "
-          f"{counts['detected']} detected, {counts['clean']} clean, "
-          f"{counts['silent']} silent "
+          f"{counts['detected']} detected, {counts['rejected']} rejected, "
+          f"{counts['clean']} clean, {counts['silent']} silent "
           f"-- report written to {args.output}/chaos-report.json")
     if not rep.ok:
         print("FAIL: injected fault(s) were silently absorbed",
@@ -549,6 +638,113 @@ def _cmd_roofline(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service import SweepServer, SweepService, default_socket_path
+
+    worker = None
+    if args.worker_delay > 0:
+        from repro.faults.injector import DelayedWorker
+
+        worker = DelayedWorker(args.worker_delay)
+    service = SweepService(args.state_dir, jobs=_jobs(args),
+                           timeout_s=args.timeout_s, retries=args.retries,
+                           validate=args.validate, worker=worker)
+    sock = args.socket or default_socket_path(args.state_dir)
+    server = SweepServer(service, sock)
+    print(f"[serve] sweep service on {sock} (state: {args.state_dir}, "
+          f"resumed {service.resumed_jobs} in-flight job(s))",
+          file=sys.stderr, flush=True)
+    server.serve_forever()
+    print("[serve] drained, journal closed", file=sys.stderr, flush=True)
+    return 0
+
+
+def _submit_configs(args) -> list[RunConfig]:
+    if args.ladder:
+        from repro.experiments.executor import ExecutionPlan
+
+        return list(ExecutionPlan.ladder(mesh=_mesh_dims(args.mesh)))
+    return [_run_config(args)]
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.socket)
+    resp = client.submit(_submit_configs(args), tenant=args.tenant,
+                         priority=args.priority)
+    if not resp.get("ok"):
+        # an explicit rejection is the admission contract, not a crash.
+        print(f"rejected: {resp.get('rejected', resp.get('error'))}",
+              file=sys.stderr, flush=True)
+        return 1
+    job_id = resp["job_id"]
+    print(f"submitted {job_id} (queue depth {resp['queued']})")
+    if args.stream:
+        for rec in client.stream(job_id):
+            if "event" in rec:
+                ev = rec["event"]
+                key = ev.get("key", "")
+                print(f"  {ev.get('kind', '?'):<12} {key}")
+            elif "done" in rec:
+                return _print_job(rec["job"])
+        return 1
+    if args.wait:
+        return _print_job(client.wait(job_id))
+    return 0
+
+
+def _print_job(view: dict) -> int:
+    print(f"{view['job_id']}: {view['status']} — "
+          f"{view['completed']}/{view['total']} completed "
+          f"({view['from_store']} from store, "
+          f"{view['recomputed']} computed)"
+          + (f"; error: {view['error']}" if view.get("error") else ""))
+    return 0 if view["status"] == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.socket)
+    if args.drain:
+        resp = client.drain()
+        print(f"draining (queue depth {resp.get('queue_depth')}, "
+              f"running {resp.get('running') or '-'})")
+        return 0
+    if args.shutdown:
+        client.shutdown()
+        print("shutdown requested")
+        return 0
+    if args.health:
+        print(json.dumps(client.health(), indent=2, sort_keys=True))
+        return 0
+    if args.job and args.results:
+        resp = client.fetch(args.job)
+        if not resp.get("ok"):
+            print(resp.get("error"), file=sys.stderr, flush=True)
+            return 1
+        print(json.dumps(resp["results"], indent=2, sort_keys=True))
+        return 0
+    if args.job:
+        resp = client.poll(args.job)
+        if not resp.get("ok"):
+            print(resp.get("error"), file=sys.stderr, flush=True)
+            return 1
+        return _print_job(resp["job"])
+    views = client.jobs().get("jobs", [])
+    if not views:
+        print("no jobs")
+        return 0
+    rows = [["job", "tenant", "prio", "status", "done", "store", "computed"]]
+    for v in views:
+        rows.append([v["job_id"], v["tenant"], f"{v['priority']:g}",
+                     v["status"], f"{v['completed']}/{v['total']}",
+                     str(v["from_store"]), str(v["recomputed"])])
+    print(report.format_table(rows))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -565,6 +761,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "codesign": lambda: _cmd_codesign(args),
         "trace": lambda: _cmd_trace(args),
         "roofline": lambda: _cmd_roofline(args),
+        "serve": lambda: _cmd_serve(args),
+        "submit": lambda: _cmd_submit(args),
+        "jobs": lambda: _cmd_jobs(args),
     }
     return handlers[args.command]()
 

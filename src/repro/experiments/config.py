@@ -63,6 +63,32 @@ def resolve_mesh(mesh: MeshSpec | None) -> tuple[int, int, int]:
     return dims
 
 
+def _check_registries(cfg: "RunConfig") -> None:
+    """Reject configs naming unknown machines, rungs, or backends.
+
+    Runs on the loose-input constructors (``from_kwargs`` /
+    ``from_dict``) -- the paths fed by the CLI and the sweep service's
+    wire format -- so bad names fail eagerly with the registry's
+    spelling list instead of deep inside the first simulation.
+    """
+    # imported lazily: config is the bottom of the dependency stack.
+    from repro.compiler.transforms import OPT_PASSES
+    from repro.machine.machines import MACHINES
+
+    if cfg.machine.lower() not in MACHINES:
+        raise ValueError(
+            f"unknown machine {cfg.machine!r}; known: {sorted(MACHINES)}")
+    if cfg.opt not in OPT_PASSES:
+        raise ValueError(
+            f"unknown optimization rung {cfg.opt!r}; "
+            f"known: {tuple(OPT_PASSES)}")
+    from repro.backends import BACKENDS
+
+    if cfg.backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {cfg.backend!r}; known: {sorted(BACKENDS)}")
+
+
 @dataclass(frozen=True)
 class RunConfig:
     """One mini-app execution configuration.
@@ -107,7 +133,33 @@ class RunConfig:
         unknown = set(kwargs) - known
         if unknown:
             raise TypeError(f"unknown RunConfig argument(s): {sorted(unknown)}")
-        return cls(mesh_dims=resolve_mesh(mesh), **kwargs)
+        cfg = cls(mesh_dims=resolve_mesh(mesh), **kwargs)
+        _check_registries(cfg)
+        return cfg
+
+    def to_dict(self) -> dict:
+        """JSON-able form (the sweep service's wire format); round-trips
+        through :meth:`from_dict`."""
+        out = {
+            "machine": self.machine,
+            "opt": self.opt,
+            "vector_size": self.vector_size,
+            "mesh_dims": list(self.mesh_dims),
+            "cache_enabled": self.cache_enabled,
+            "field_seed": self.field_seed,
+            "backend": self.backend,
+        }
+        if self.passes is not None:
+            out["passes"] = list(self.passes)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise ``TypeError``
+        (same contract as :meth:`from_kwargs`)."""
+        data = dict(data)
+        mesh = data.pop("mesh_dims", None)
+        return cls.from_kwargs(mesh=mesh, **data)
 
     def key(self) -> str:
         """Stable cache key."""

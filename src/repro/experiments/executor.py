@@ -160,9 +160,11 @@ class ExecutionPlan:
 class RunEvent:
     """One structured progress event streamed by :func:`execute_plan`.
 
-    ``kind`` is one of ``cache_hit``, ``start``, ``done``, ``retry``,
-    ``timeout``, ``failed``, ``invalid`` (validation verdict rejected a
-    payload), ``quarantined`` (repeated validation failure).
+    ``kind`` is one of ``cache_hit``, ``cache_corrupt`` (a damaged disk
+    entry was discarded before re-simulation — degradation made
+    observable), ``start``, ``done``, ``retry``, ``timeout``, ``failed``,
+    ``invalid`` (validation verdict rejected a payload), ``quarantined``
+    (repeated validation failure).
 
     Every event also carries a live utilization snapshot -- ``queued``
     (configs still waiting for a worker) and the running cache
@@ -197,6 +199,9 @@ class ExecutionStats:
     failures: int = 0
     validation_failures: int = 0
     quarantined: int = 0
+    #: corrupt disk-cache entries discarded (and re-simulated) this call;
+    #: each one also emitted a ``cache_corrupt`` event.
+    cache_corrupt: int = 0
     wall_s: float = 0.0
 
 
@@ -250,35 +255,47 @@ def payload_digest(payload: dict) -> str:
         json.dumps(body, sort_keys=True).encode()).hexdigest()
 
 
-def load_cached(cache_dir: str | os.PathLike, cfg: RunConfig) -> Optional[RunCounters]:
-    """Read one cached run; a missing entry returns ``None``.
+def load_cached_entry(cache_dir: str | os.PathLike,
+                      cfg: RunConfig) -> tuple[Optional[RunCounters], str]:
+    """Read one cached run, reporting *why* a miss is a miss.
 
-    A corrupt entry — truncated write, bad JSON, wrong schema, missing
-    or mismatching content digest, non-finite counter values — is
-    deleted and ``None`` is returned so the caller re-simulates: a
-    damaged cache must never crash a command *or* leak silently into
-    artifacts.
+    Returns ``(counters, "")`` on a hit, ``(None, "")`` for a simply
+    missing entry, and ``(None, reason)`` when a corrupt entry —
+    truncated write, bad JSON, wrong schema, missing or mismatching
+    content digest, non-finite counter values — was discarded.  The
+    corrupt entry is deleted so the caller re-simulates; the non-empty
+    reason lets the executor surface the repair as a ``cache_corrupt``
+    event instead of healing silently.
     """
     path = cache_path(cache_dir, cfg)
     try:
         text = path.read_text()
     except FileNotFoundError:
-        return None
+        return None, ""
     except OSError:
-        return None
+        return None, ""
     try:
         data = json.loads(text)
         if not isinstance(data, dict):
             raise TypeError("counter payload must be a JSON object")
         if data.get("__digest__") != payload_digest(data):
             raise ValueError("content digest mismatch")
-        return counters_from_dict(data)
-    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return counters_from_dict(data), ""
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
         try:
             path.unlink()
         except OSError:  # pragma: no cover - best-effort cleanup
             pass
-        return None
+        return None, f"discarded corrupt cache entry: {exc!r}"
+
+
+def load_cached(cache_dir: str | os.PathLike, cfg: RunConfig) -> Optional[RunCounters]:
+    """Read one cached run; a missing *or corrupt* entry returns ``None``
+    (the corrupt entry is deleted).  See :func:`load_cached_entry` for
+    the corruption-reporting variant the executor uses — a damaged cache
+    must never crash a command *or* leak silently into artifacts.
+    """
+    return load_cached_entry(cache_dir, cfg)[0]
 
 
 def _dump_payload(payload: dict) -> str:
@@ -483,7 +500,13 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
     # -- partition: cache hits, journalled failures, remaining work --------
     for cfg in configs:
         key = cfg.key()
-        cached = load_cached(cache_dir, cfg) if use_disk else None
+        cached, corrupt = (load_cached_entry(cache_dir, cfg) if use_disk
+                           else (None, ""))
+        if corrupt:
+            # the entry was already unlinked; surface the repair so
+            # degradation is observable, then fall through to re-simulate.
+            result.stats.cache_corrupt += 1
+            emit("cache_corrupt", key, error=corrupt)
         if cached is not None and validate:
             violations = check_payload(cfg, cached)
             if violations:

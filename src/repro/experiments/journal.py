@@ -19,7 +19,14 @@ Record kinds (one JSON object per line):
 :class:`JournalState`; earlier segments are irrelevant because completed
 runs also live in the versioned disk cache.  A torn trailing line (the
 crash may have hit mid-append) is ignored, mirroring the cache's
-corruption-recovery contract.
+corruption-recovery contract — including a tail of non-UTF8 garbage,
+which a power loss mid-sector can legitimately leave behind.
+
+Opening a :class:`SweepJournal` for append first *repairs* a torn tail:
+the bytes after the last newline are truncated (and the truncation
+fsynced) so the next record starts on a fresh line instead of being
+glued onto the torn fragment — which would corrupt an otherwise valid
+record.  :func:`repair_torn_tail` is the standalone entry point.
 """
 
 from __future__ import annotations
@@ -49,16 +56,52 @@ class JournalState:
     interrupted: bool = False
 
 
-def replay_journal(path: str | os.PathLike) -> Optional[JournalState]:
-    """Fold an existing journal; ``None`` when the file does not exist."""
+def repair_torn_tail(path: str | os.PathLike) -> int:
+    """Truncate a torn (newline-less) trailing fragment off a journal.
+
+    A crash mid-append leaves the file ending in a partial record with
+    no trailing newline; appending to it would splice the next record
+    onto the fragment and corrupt *both*.  This trims the file back to
+    its last complete line — the recovered prefix — and fsyncs the
+    truncation so the repair itself is durable.  Returns the number of
+    bytes removed (0 when the file is absent, empty, or healthy).
+    """
     p = Path(path)
     try:
-        text = p.read_text()
+        with open(p, "rb+") as fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return 0
+            cut = data.rfind(b"\n") + 1  # 0 when no newline at all
+            fh.truncate(cut)
+            fh.flush()
+            try:
+                os.fsync(fh.fileno())
+            except OSError:  # pragma: no cover - journal on a pipe
+                pass
+            return len(data) - cut
+    except (FileNotFoundError, OSError):
+        return 0
+
+
+def replay_journal(path: str | os.PathLike) -> Optional[JournalState]:
+    """Fold an existing journal; ``None`` when the file does not exist.
+
+    Corruption-tolerant by contract: a torn final line — truncated JSON,
+    or raw non-UTF8 bytes — is skipped and the intact prefix is
+    recovered, never an exception.
+    """
+    p = Path(path)
+    try:
+        raw = p.read_bytes()
     except (FileNotFoundError, OSError):
         return None
     state = JournalState()
-    for line in text.splitlines():
-        line = line.strip()
+    for bline in raw.split(b"\n"):
+        try:
+            line = bline.decode("utf-8").strip()
+        except UnicodeDecodeError:
+            continue  # torn binary tail: recover the prefix, never crash
         if not line:
             continue
         try:
@@ -86,11 +129,17 @@ def replay_journal(path: str | os.PathLike) -> Optional[JournalState]:
 
 
 class SweepJournal:
-    """Append-only, fsynced journal writer for one ``execute_plan``."""
+    """Append-only, fsynced journal writer for one ``execute_plan``.
+
+    Opening repairs a torn trailing line first (see
+    :func:`repair_torn_tail`) so new records never splice onto a crash
+    fragment.
+    """
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.repaired_bytes = repair_torn_tail(self.path)
         self._fh = open(self.path, "a", encoding="utf-8")
 
     def record(self, ev: str, **fields) -> None:
@@ -107,6 +156,10 @@ class SweepJournal:
             self._fh.close()
         except OSError:  # pragma: no cover - best effort
             pass
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
 
     def __enter__(self) -> "SweepJournal":
         return self

@@ -76,7 +76,11 @@ class Session:
         #: execution backend stamped on configs built by this session
         #: (see ``RunConfig.backend``); timing results are identical
         #: across backends, only semantic validation work is affected.
-        self.backend = backend
+        #: Resolved eagerly so a typo fails here with the registry keys
+        #: listed, not as a KeyError deep inside a sweep.
+        from repro.backends import get_backend
+
+        self.backend = get_backend(backend).name
         self.cache_dir = Path(cache_dir)
         if use_disk is None:
             use_disk = os.environ.get("REPRO_CACHE", "1") != "0"

@@ -64,8 +64,12 @@ from repro.faults.injector import (
 from repro.faults.plan import FaultPlan
 from repro.metrics.counters import counters_to_dict
 
-#: stage classifications, best to worst.
+#: stage classifications, best to worst.  ``rejected`` is the service
+#: campaign's third safe outcome: the fault (e.g. a submission flood)
+#: was shed with an explicit refusal — load was lost *visibly*, by
+#: contract, which is as much a success as recovery.
 RECOVERED, DETECTED, CLEAN, SILENT = "recovered", "detected", "clean", "silent"
+REJECTED = "rejected"
 
 
 @dataclass
@@ -95,7 +99,7 @@ class ChaosReport:
 
     @property
     def counts(self) -> dict[str, int]:
-        out = {RECOVERED: 0, DETECTED: 0, CLEAN: 0, SILENT: 0}
+        out = {RECOVERED: 0, DETECTED: 0, REJECTED: 0, CLEAN: 0, SILENT: 0}
         for st in self.stages:
             out[st.classification] = out.get(st.classification, 0) + 1
         return out
@@ -129,7 +133,8 @@ class ChaosReport:
         ]
         for st in self.stages:
             badge = {"silent": "**SILENT**", "detected": "detected",
-                     "recovered": "recovered", "clean": "clean"}.get(
+                     "recovered": "recovered", "rejected": "rejected",
+                     "clean": "clean"}.get(
                          st.classification, st.classification)
             lines.append(f"| {st.name} | {st.kind} | {st.target or '-'} "
                          f"| {badge} |")
@@ -137,7 +142,8 @@ class ChaosReport:
         lines += [
             "",
             f"**{c[RECOVERED]} recovered · {c[DETECTED]} detected · "
-            f"{c[CLEAN]} clean · {c[SILENT]} silent** — "
+            f"{c[REJECTED]} rejected · {c[CLEAN]} clean · "
+            f"{c[SILENT]} silent** — "
             + ("campaign ok" if self.ok
                else "FAIL: fault(s) silently absorbed"),
             "",
@@ -166,11 +172,18 @@ def run_chaos_campaign(seed: int = 0,
                        timeout_s: float = 2.0,
                        verbose: bool = False,
                        pass_faults: bool = False,
+                       service_faults: bool = False,
                        backend: str = "numpy") -> ChaosReport:
     """Run the full seeded campaign; see the module docstring.
 
     With ``pass_faults=True`` the three compiler-model fault kinds are
-    armed as additional sweep stages.  ``backend`` selects the kernel
+    armed as additional sweep stages.  With ``service_faults=True`` the
+    sweep-service drills (hung worker, torn store shard, submission
+    flood, worker failure storm, kill-mid-sweep + resume) run as extra
+    stages — see :mod:`repro.service.chaos`.  The kill stage spawns a
+    real ``repro serve`` subprocess and SIGKILLs it, so its evidence
+    strings are not byte-deterministic; campaigns compared byte-for-byte
+    should leave it off.  ``backend`` selects the kernel
     execution backend for every semantic stage (digest ladders, golden
     drills); honest results are byte-identical across backends, so the
     report does not depend on the choice — only the wall-clock does.
@@ -446,6 +459,14 @@ def run_chaos_campaign(seed: int = 0,
             name="cache-miss-drift", kind="miss_drift", target="L1",
             classification=DETECTED if cache_viol else SILENT,
             evidence=cache_viol[:3]))
+
+        # -- service drills: the supervised sweep service under fire ------
+        if service_faults:
+            from repro.service.chaos import append_service_stages
+
+            append_service_stages(report, seed=seed, mesh=mesh,
+                                  scratch=scratch / "service",
+                                  verbose=verbose)
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
 

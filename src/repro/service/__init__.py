@@ -1,0 +1,49 @@
+"""The supervised sweep service: a multi-tenant job queue in front of
+the chaos-hardened executor.
+
+Layers (each its own module, each independently testable):
+
+* :mod:`.store` — sharded content-addressed result store (cross-tenant
+  dedup through the digest link plane);
+* :mod:`.admission` — token-bucket admission control with explicit
+  rejections;
+* :mod:`.breaker` — the circuit breaker;
+* :mod:`.scheduler` — priority scheduling with starvation aging;
+* :mod:`.jobs` — job records + the durable service journal;
+* :mod:`.core` — :class:`SweepService`, tying it all together;
+* :mod:`.server` / :mod:`.client` — the unix-socket front end
+  (``repro serve`` / ``repro submit`` / ``repro jobs``);
+* :mod:`.chaos` — the service fault drills
+  (``repro chaos --service-faults``).
+"""
+
+from repro.service.admission import AdmissionController, Decision, TokenBucket
+from repro.service.breaker import CircuitBreaker
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import SweepService
+from repro.service.jobs import Job, ServiceJournal, replay_service_journal
+from repro.service.scheduler import PriorityScheduler
+from repro.service.server import (
+    SweepServer,
+    default_socket_path,
+    wait_for_socket,
+)
+from repro.service.store import ResultStore
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "Decision",
+    "Job",
+    "PriorityScheduler",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceJournal",
+    "SweepServer",
+    "SweepService",
+    "TokenBucket",
+    "default_socket_path",
+    "replay_service_journal",
+    "wait_for_socket",
+]

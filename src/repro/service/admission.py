@@ -1,0 +1,122 @@
+"""Admission control: token buckets + per-tenant rate limiting.
+
+A service that accepts every submission melts under flood; one that
+drops submissions silently is worse.  The admission layer's contract is
+an **explicit decision** for every submit: admitted, or rejected with a
+reason the client can act on (``tenant rate limit``, ``service rate
+limit``, ``queue full``).  Nothing is ever dropped on the floor — the
+chaos campaign's submission-flood stage fails if admitted + rejected
+does not account for every request.
+
+Clocks are injectable (``clock=``) so tests and the flood drill control
+time instead of sleeping through it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict; ``reason`` is non-empty iff rejected."""
+
+    admitted: bool
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        return {"admitted": self.admitted, "reason": self.reason}
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``refill_per_s`` sustain."""
+
+    def __init__(self, capacity: float, refill_per_s: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity <= 0:
+            raise ValueError(f"bucket capacity must be > 0, got {capacity}")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.capacity,
+                           self._tokens + elapsed * self.refill_per_s)
+
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; never blocks, never goes negative."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+
+class AdmissionController:
+    """Submit-time gate: global bucket, per-tenant buckets, queue bound.
+
+    Checks run cheapest-reject first: queue depth (protects memory),
+    then the tenant's bucket (one noisy tenant cannot starve the rest),
+    then the global bucket (aggregate service protection).  A rejection
+    consumes no tokens anywhere, so a rejected client retrying does not
+    further punish well-behaved tenants.
+    """
+
+    def __init__(self, *,
+                 tenant_burst: float = 8.0,
+                 tenant_per_s: float = 2.0,
+                 global_burst: float = 32.0,
+                 global_per_s: float = 8.0,
+                 max_queue_depth: int = 64,
+                 clock: Callable[[], float] = time.monotonic):
+        self.tenant_burst = tenant_burst
+        self.tenant_per_s = tenant_per_s
+        self.max_queue_depth = max_queue_depth
+        self._clock = clock
+        self._global = TokenBucket(global_burst, global_per_s, clock=clock)
+        self._tenants: dict[str, TokenBucket] = {}
+
+    def _tenant_bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._tenants.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.tenant_burst, self.tenant_per_s,
+                                 clock=self._clock)
+            self._tenants[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, queue_depth: int = 0,
+              cost: float = 1.0) -> Decision:
+        """Decide one submission; rejections carry an explicit reason."""
+        if queue_depth >= self.max_queue_depth:
+            return Decision(False, f"queue full: depth {queue_depth} >= "
+                                   f"limit {self.max_queue_depth}")
+        bucket = self._tenant_bucket(tenant)
+        if bucket.available() < cost:
+            return Decision(False, f"tenant rate limit: {tenant!r} exceeded "
+                                   f"{self.tenant_per_s:g}/s "
+                                   f"(burst {self.tenant_burst:g})")
+        if not self._global.try_take(cost):
+            return Decision(False, "service rate limit: aggregate submission "
+                                   "budget exhausted, retry with backoff")
+        bucket.try_take(cost)
+        return Decision(True)
+
+    def health(self) -> dict:
+        """Token levels for the health endpoint (rounded: diagnostics,
+        not an API)."""
+        return {
+            "global_tokens": round(self._global.available(), 3),
+            "tenants": {t: round(b.available(), 3)
+                        for t, b in sorted(self._tenants.items())},
+        }

@@ -1,0 +1,92 @@
+"""Circuit breaker: stop feeding work to a failing backend.
+
+When worker or validation failures repeat, retrying harder only burns
+the queue and amplifies the outage.  The breaker trips **open** after
+``failure_threshold`` consecutive job failures: new submissions are
+rejected explicitly (the admission contract — never a silent drop).
+After ``cooldown_s`` it **half-opens**: exactly one probe job is allowed
+through; a probe success closes the circuit, a probe failure re-opens it
+for another cooldown.
+
+State transitions are driven by the service loop calling
+:meth:`record_success` / :meth:`record_failure` per processed job, and
+by :meth:`allow` at submit/dispatch time.  The clock is injectable so
+chaos drills step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    def __init__(self, failure_threshold: int = 3, cooldown_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_outstanding = False
+        #: total trips, for the health endpoint.
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting OPEN -> HALF_OPEN once cooled down."""
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.cooldown_s):
+            self._state = HALF_OPEN
+            self._probe_outstanding = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May one more job pass?  CLOSED: yes.  OPEN: no.  HALF_OPEN:
+        only the single probe."""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probe_outstanding:
+            self._probe_outstanding = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_outstanding = False
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            # failed probe: straight back to OPEN for another cooldown.
+            self._trip()
+        elif (self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probe_outstanding = False
+        self.trips += 1
+
+    def describe(self) -> str:
+        state = self.state
+        if state == OPEN:
+            remaining = self.cooldown_s - (self._clock() - self._opened_at)
+            return (f"open ({self._consecutive_failures} consecutive "
+                    f"failure(s); half-open probe in {max(0.0, remaining):.1f}s)")
+        if state == HALF_OPEN:
+            return "half-open (one probe job admitted)"
+        return "closed"
+
+    def health(self) -> dict:
+        return {"state": self.state, "trips": self.trips,
+                "consecutive_failures": self._consecutive_failures}

@@ -1,0 +1,129 @@
+"""Client for the sweep service's unix-socket protocol.
+
+Thin and dependency-free: one connection per request (the protocol is a
+single request/response line, so there is nothing to pool), JSON in,
+JSON out.  ``stream`` holds its connection open and yields event dicts
+until the job reaches a terminal state.  All methods surface the
+server's explicit rejections untouched — a caller can always tell
+*admitted*, *rejected: why*, and *error* apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Iterable, Iterator, Optional
+
+from repro.experiments.config import RunConfig
+
+
+class ServiceError(RuntimeError):
+    """A transport or protocol failure (not an admission rejection)."""
+
+
+class ServiceClient:
+    def __init__(self, socket_path: str | os.PathLike,
+                 timeout_s: float = 30.0):
+        self.socket_path = str(socket_path)
+        self.timeout_s = timeout_s
+
+    # -- transport ---------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(self.timeout_s)
+        try:
+            s.connect(self.socket_path)
+        except OSError as exc:
+            s.close()
+            raise ServiceError(
+                f"cannot reach sweep service at {self.socket_path}: {exc}"
+            ) from None
+        return s
+
+    def _request(self, op: str, **fields) -> dict:
+        with self._connect() as s:
+            s.sendall(json.dumps({"op": op, **fields}).encode("utf-8") + b"\n")
+            line = self._read_line(s)
+        if line is None:
+            raise ServiceError(f"service closed the connection mid-{op}")
+        return line
+
+    @staticmethod
+    def _read_line(s: socket.socket) -> Optional[dict]:
+        buf = bytearray()
+        while True:
+            chunk = s.recv(4096)
+            if not chunk:
+                return None
+            buf.extend(chunk)
+            if b"\n" in buf:
+                line, _, _rest = bytes(buf).partition(b"\n")
+                return json.loads(line.decode("utf-8"))
+
+    # -- verbs -------------------------------------------------------------
+
+    def submit(self, configs: Iterable[RunConfig] | RunConfig,
+               tenant: str = "default", priority: float = 0.0) -> dict:
+        if isinstance(configs, RunConfig):
+            configs = [configs]
+        return self._request("submit",
+                             configs=[c.to_dict() for c in configs],
+                             tenant=tenant, priority=priority)
+
+    def poll(self, job_id: str) -> dict:
+        return self._request("poll", job_id=job_id)
+
+    def jobs(self) -> dict:
+        return self._request("jobs")
+
+    def fetch(self, job_id: str) -> dict:
+        return self._request("fetch", job_id=job_id)
+
+    def health(self) -> dict:
+        return self._request("health")
+
+    def drain(self) -> dict:
+        return self._request("drain")
+
+    def shutdown(self) -> dict:
+        return self._request("shutdown")
+
+    def stream(self, job_id: str) -> Iterator[dict]:
+        """Yield event dicts live; the final yield is the terminal
+        ``{"done": ..., "job": view}`` record."""
+        with self._connect() as s:
+            s.sendall(json.dumps({"op": "stream", "job_id": job_id})
+                      .encode("utf-8") + b"\n")
+            buf = bytearray()
+            while True:
+                chunk = s.recv(4096)
+                if not chunk:
+                    return
+                buf.extend(chunk)
+                while b"\n" in buf:
+                    line, _, rest = bytes(buf).partition(b"\n")
+                    buf = bytearray(rest)
+                    rec = json.loads(line.decode("utf-8"))
+                    yield rec
+                    if "done" in rec or rec.get("ok") is False:
+                        return
+
+    def wait(self, job_id: str, timeout_s: float = 120.0,
+             poll_s: float = 0.1) -> dict:
+        """Poll until the job is terminal; returns the final view."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            resp = self.poll(job_id)
+            if not resp.get("ok"):
+                raise ServiceError(resp.get("error", "poll failed"))
+            job = resp["job"]
+            if job["status"] in ("done", "failed"):
+                return job
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_s:g}s waiting for {job_id} "
+                    f"({job['completed']}/{job['total']} completed)")
+            time.sleep(poll_s)

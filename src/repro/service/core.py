@@ -1,0 +1,410 @@
+"""The supervised sweep service core.
+
+:class:`SweepService` promotes the chaos-hardened executor into
+long-running, multi-tenant infrastructure.  One instance owns a *state
+directory*::
+
+    state_dir/service.journal   durable job table (jobs.py vocabulary)
+    state_dir/store/            sharded content-addressed result store
+    state_dir/cache/            the executor's versioned run cache
+
+and exposes the queue API the socket front end (:mod:`.server`) and the
+CLI speak: :meth:`submit` / :meth:`poll` / :meth:`stream` /
+:meth:`jobs` / :meth:`health` / :meth:`drain` / :meth:`fetch`.
+
+Robustness properties, each proven by a chaos stage:
+
+* **durability** — every completed run is fsynced into the store and
+  journaled *before* the service acknowledges it; kill -9 at any
+  instant and a restarted service re-dispatches in-flight jobs with
+  every previously completed result served from the store, zero
+  recomputation (``service_kill`` stage);
+* **dedup** — identical configs from any tenant resolve through the
+  store's link plane: a million users sweeping the same config space
+  cost one simulation (baseline stage's cross-tenant drill);
+* **admission control** — token-bucket rate limits per tenant and
+  global, plus a queue-depth bound; every rejection is an explicit
+  response with a reason, journaled, never a silent drop
+  (``submission_flood`` stage);
+* **circuit breaking** — repeated job failures trip the breaker; new
+  work is rejected while open, one probe is admitted after the
+  cooldown, and a probe success restores service
+  (``worker_failure_storm`` stage);
+* **bounded degradation** — per-run timeout/retry/backoff/quarantine
+  are inherited from :func:`~repro.experiments.executor.execute_plan`
+  (``hung_worker`` stage), and a torn store shard fails its digest
+  check and is recomputed, surfaced as a ``store_corrupt`` event
+  (``torn_shard`` stage).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Optional
+
+from repro.experiments.config import RunConfig
+from repro.experiments.executor import (
+    RunEvent,
+    cache_path,
+    execute_plan,
+    simulate_to_dict,
+)
+from repro.obs.tracer import active as _obs_active
+from repro.service.admission import AdmissionController, Decision
+from repro.service.breaker import CircuitBreaker
+from repro.service.jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    ServiceJournal,
+    replay_service_journal,
+)
+from repro.service.scheduler import PriorityScheduler
+from repro.service.store import ResultStore
+
+
+def _event_dict(ev: RunEvent) -> dict:
+    return {"kind": ev.kind, "key": ev.key, "attempt": ev.attempt,
+            "wall_s": round(ev.wall_s, 6), "error": ev.error,
+            "queued": ev.queued}
+
+
+class SweepService:
+    """Supervised, multi-tenant job queue in front of ``execute_plan``."""
+
+    def __init__(self, state_dir: str,  *,
+                 jobs: int = 1,
+                 timeout_s: Optional[float] = 30.0,
+                 retries: int = 1,
+                 backoff_s: float = 0.05,
+                 validate: bool = False,
+                 worker: Optional[Callable[[RunConfig], dict]] = None,
+                 admission: Optional[AdmissionController] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 scheduler: Optional[PriorityScheduler] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs_n = max(1, jobs)
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.validate = validate
+        self.worker = worker or simulate_to_dict
+        self.admission = admission or AdmissionController(clock=clock)
+        self.breaker = breaker or CircuitBreaker(clock=clock)
+        self.scheduler = scheduler or PriorityScheduler()
+        self.clock = clock
+        self.cache_dir = self.state_dir / "cache"
+        self.store = ResultStore(self.state_dir / "store")
+
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self.draining = False
+        self._running_job: Optional[str] = None
+
+        # -- resume: fold the journal, requeue whatever was in flight ------
+        journal_path = self.state_dir / "service.journal"
+        state = replay_service_journal(journal_path)
+        self._jobs: dict[str, Job] = state.jobs if state else {}
+        self._order: list[str] = list(state.order) if state else []
+        self._seq = state.next_seq() if state else 1
+        self.rejected_total = state.rejected if state else 0
+        self.resumed_jobs = 0
+        self._journal = ServiceJournal(journal_path)
+        self._journal.record("service_start", jobs=self.jobs_n)
+        if state:
+            now = self.clock()
+            for job in state.unfinished():
+                job.status = QUEUED
+                self.scheduler.push(job.job_id, job.priority, now)
+                self.resumed_jobs += 1
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, configs: Iterable[RunConfig] | RunConfig,
+               tenant: str = "default", priority: float = 0.0) -> dict:
+        """Enqueue one sweep; returns ``{"ok": True, "job_id": ...}`` or
+        an explicit ``{"ok": False, "rejected": reason}`` — a submission
+        is *never* silently dropped."""
+        if isinstance(configs, RunConfig):
+            configs = [configs]
+        configs = tuple(configs)
+        if not configs:
+            return self._reject(tenant, "empty submission: no configs")
+        with self._cond:
+            if self.draining:
+                return self._reject(tenant, "service draining: no new work "
+                                            "accepted, retry after restart")
+            if not self.breaker.allow():
+                return self._reject(
+                    tenant, f"circuit breaker {self.breaker.describe()}")
+            decision: Decision = self.admission.admit(
+                tenant, queue_depth=len(self.scheduler))
+            if not decision.admitted:
+                return self._reject(tenant, decision.reason)
+            job_id = f"j{self._seq:05d}"
+            self._seq += 1
+            job = Job(job_id=job_id, tenant=tenant, priority=float(priority),
+                      configs=configs)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._journal.record("submit", job_id=job_id, tenant=tenant,
+                                 priority=float(priority),
+                                 configs=[c.to_dict() for c in configs])
+            self.scheduler.push(job_id, float(priority), self.clock())
+            tracer = _obs_active()
+            if tracer is not None:
+                tracer.event("job submitted", cat="service", job=job_id,
+                             tenant=tenant, configs=len(configs))
+                tracer.counter("service queue depth", len(self.scheduler))
+            self._cond.notify_all()
+            return {"ok": True, "job_id": job_id,
+                    "queued": len(self.scheduler)}
+
+    def _reject(self, tenant: str, reason: str) -> dict:
+        self.rejected_total += 1
+        self._journal.record("rejected", tenant=tenant, reason=reason)
+        tracer = _obs_active()
+        if tracer is not None:
+            tracer.event("submission rejected", cat="service",
+                         tenant=tenant, reason=reason)
+        return {"ok": False, "rejected": reason}
+
+    # -- processing --------------------------------------------------------
+
+    def process_next(self, wait_s: float = 0.0) -> Optional[str]:
+        """Run the most urgent queued job to completion (in this thread);
+        returns its id, or ``None`` when the queue stayed idle for
+        *wait_s*."""
+        deadline = self.clock() + wait_s
+        with self._cond:
+            job_id = self.scheduler.pop(self.clock())
+            while job_id is None:
+                remaining = deadline - self.clock()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(min(remaining, 0.2))
+                job_id = self.scheduler.pop(self.clock())
+            job = self._jobs[job_id]
+            job.status = RUNNING
+            self._running_job = job_id
+            self._journal.record("job_start", job_id=job_id)
+        try:
+            self._process(job)
+        finally:
+            with self._lock:
+                self._running_job = None
+        return job_id
+
+    def _complete(self, job: Job, key: str, digest: str, source: str) -> None:
+        """Mark one config done — store linked, journal written, event
+        emitted — under the service lock."""
+        with self._lock:
+            job.completed[key] = digest
+            job.sources[key] = source
+            job.events.append({"kind": "store_hit" if source != "computed"
+                               else "done", "key": key, "source": source})
+            self._journal.record("config_done", job_id=job.job_id, key=key,
+                                 digest=digest, source=source)
+
+    def _process(self, job: Job) -> None:
+        tracer = _obs_active()
+        if tracer is None:
+            self._process_inner(job, None)
+            return
+        with tracer.span("job", cat="service", job=job.job_id,
+                         tenant=job.tenant):
+            self._process_inner(job, tracer)
+
+    def _process_inner(self, job: Job, tracer) -> None:
+        cfg_by_key = {cfg.key(): cfg for cfg in job.configs}
+
+        # -- resumed completions: serve from the store, never recompute ----
+        for key in list(job.completed):
+            payload = self.store.get(job.completed[key])
+            if payload is None:
+                # lost or torn object: recompute this one config.
+                with self._lock:
+                    job.events.append({"kind": "store_corrupt", "key": key,
+                                       "error": "journaled result missing "
+                                                "from store"})
+                    del job.completed[key]
+                    job.sources.pop(key, None)
+            else:
+                self._complete(job, key, job.completed[key], "store")
+
+        # -- cross-tenant / cross-job dedup through the link plane ---------
+        before = self.store.stats.corrupt_discarded
+        for key, cfg in cfg_by_key.items():
+            if key in job.completed:
+                continue
+            payload = self.store.lookup(key)
+            if payload is not None:
+                self._complete(job, key, payload["__digest__"], "store")
+        torn = self.store.stats.corrupt_discarded - before
+        if torn:
+            with self._lock:
+                job.events.append({"kind": "store_corrupt",
+                                   "error": f"{torn} torn shard object(s) "
+                                            "discarded, recomputing"})
+            if tracer is not None:
+                tracer.event("store corruption repaired", cat="service",
+                             job=job.job_id, objects=torn)
+
+        remaining = [cfg for key, cfg in cfg_by_key.items()
+                     if key not in job.completed]
+
+        def on_event(ev: RunEvent) -> None:
+            if ev.kind in ("done", "cache_hit"):
+                cfg = cfg_by_key.get(ev.key)
+                payload = self._cache_payload(cfg) if cfg is not None else None
+                if payload is not None:
+                    digest = self.store.put(payload)
+                    self.store.link(ev.key, digest)
+                    self._complete(job, ev.key, digest,
+                                   "computed" if ev.kind == "done" else "cache")
+                    return
+            with self._lock:
+                job.events.append(_event_dict(ev))
+            if tracer is not None:
+                tracer.counter("service run queue", ev.queued)
+
+        result = None
+        if remaining:
+            result = execute_plan(remaining, cache_dir=self.cache_dir,
+                                  jobs=self.jobs_n, timeout_s=self.timeout_s,
+                                  retries=self.retries,
+                                  backoff_s=self.backoff_s,
+                                  validate=self.validate, worker=self.worker,
+                                  on_event=on_event)
+
+        with self._lock:
+            if result is not None:
+                job.failed.update(result.failed)
+                # anything that simulated but missed the event hook (e.g.
+                # a cache write race) is reconciled from the result map.
+                from repro.metrics.counters import counters_to_dict
+
+                for key, run in result.runs.items():
+                    if key not in job.completed:
+                        payload = counters_to_dict(run)
+                        digest = self.store.put(payload)
+                        self.store.link(key, digest)
+                        job.completed[key] = digest
+                        job.sources[key] = "computed"
+                        self._journal.record("config_done", job_id=job.job_id,
+                                             key=key, digest=digest,
+                                             source="computed")
+            if job.failed:
+                job.status = FAILED
+                job.error = (f"{len(job.failed)} run(s) failed permanently; "
+                             f"{len(job.completed)}/{job.total} completed")
+                self._journal.record("job_failed", job_id=job.job_id,
+                                     error=job.error, failed=job.failed)
+                self.breaker.record_failure()
+            else:
+                job.status = DONE
+                self._journal.record("job_done", job_id=job.job_id)
+                self.breaker.record_success()
+            if tracer is not None:
+                tracer.event("job finished", cat="service", job=job.job_id,
+                             status=job.status,
+                             from_store=job.from_store,
+                             recomputed=job.recomputed)
+
+    def _cache_payload(self, cfg: RunConfig) -> Optional[dict]:
+        """The raw executor-cache payload for one config (digest intact)."""
+        try:
+            data = json.loads(cache_path(self.cache_dir, cfg).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    # -- queries -----------------------------------------------------------
+
+    def poll(self, job_id: str) -> dict:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return {"ok": False, "error": f"unknown job {job_id!r}"}
+            return {"ok": True, "job": job.view()}
+
+    def job_views(self) -> list[dict]:
+        with self._lock:
+            return [self._jobs[j].view() for j in self._order]
+
+    def stream(self, job_id: str, cursor: int = 0) -> dict:
+        """Events from *cursor* on, plus the job view; the client polls
+        until ``job.status`` is terminal."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return {"ok": False, "error": f"unknown job {job_id!r}"}
+            events = list(job.events[cursor:])
+            return {"ok": True, "events": events,
+                    "cursor": cursor + len(events), "job": job.view()}
+
+    def fetch(self, job_id: str) -> dict:
+        """Completed payloads for one job, straight from the store."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return {"ok": False, "error": f"unknown job {job_id!r}"}
+            completed = dict(job.completed)
+        payloads = {}
+        for key, digest in completed.items():
+            payload = self.store.get(digest)
+            if payload is not None:
+                payloads[key] = payload
+        return {"ok": True, "results": payloads}
+
+    def health(self) -> dict:
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "ok": True,
+                "status": "draining" if self.draining else "serving",
+                "queue_depth": len(self.scheduler),
+                "running": self._running_job,
+                "jobs": by_status,
+                "rejected_total": self.rejected_total,
+                "resumed_jobs": self.resumed_jobs,
+                "breaker": self.breaker.health(),
+                "admission": self.admission.health(),
+                "store": self.store.health(),
+            }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain(self) -> dict:
+        """Stop accepting work; queued + running jobs finish first."""
+        with self._cond:
+            self.draining = True
+            self._journal.record("drain")
+            self._cond.notify_all()
+            return {"ok": True, "status": "draining",
+                    "queue_depth": len(self.scheduler),
+                    "running": self._running_job}
+
+    def drained(self) -> bool:
+        with self._lock:
+            return (self.draining and not len(self.scheduler)
+                    and self._running_job is None)
+
+    def close(self) -> None:
+        """Close the journal (idempotent).  Callers must stop the worker
+        loop first — :meth:`SweepServer.close` joins it before calling
+        this — so no job is mid-record when the file goes away."""
+        with self._lock:
+            if self._journal.closed:
+                return
+            self._journal.record("service_stop")
+            self._journal.close()

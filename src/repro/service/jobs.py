@@ -1,0 +1,197 @@
+"""Job records + the durable service journal.
+
+One :class:`Job` is one submitted sweep: an ordered tuple of
+:class:`~repro.experiments.config.RunConfig` plus tenant, priority, and
+per-config completion state.  Job lifecycle is journaled to an
+append-only fsynced JSONL file (the same :class:`SweepJournal` machinery
+the executor uses, including torn-tail repair on open), so a service
+killed at any instant resumes with zero completed results lost:
+
+* ``service_start`` / ``service_stop`` — process lifecycle;
+* ``submit`` — full job record (configs serialized via
+  ``RunConfig.to_dict``);
+* ``rejected`` — an admission rejection (accounting: every submission
+  leaves a durable trace, admitted or not);
+* ``job_start`` — a worker picked the job up;
+* ``config_done`` — one config completed, with its result digest and
+  provenance (``computed`` / ``store`` / ``cache``); written *after*
+  the payload is durably in the result store, so the journal is never
+  ahead of the data;
+* ``job_done`` / ``job_failed`` — terminal states;
+* ``drain`` — graceful-shutdown request accepted.
+
+:func:`replay_service_journal` folds the file into the job table; jobs
+that were queued or running when the process died come back ``queued``
+with their ``completed`` maps intact — the service re-dispatches them
+and every already-completed config is served from the store, not
+recomputed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.config import RunConfig
+from repro.experiments.journal import SweepJournal, repair_torn_tail  # noqa: F401
+
+#: job states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class Job:
+    """One submitted sweep and its completion state."""
+
+    job_id: str
+    tenant: str
+    priority: float
+    configs: tuple[RunConfig, ...]
+    status: str = QUEUED
+    #: cfg key -> result digest, completed so far.
+    completed: dict = field(default_factory=dict)
+    #: cfg key -> provenance: ``computed`` (simulated in this job),
+    #: ``store`` (cross-tenant/job dedup hit), ``cache`` (executor cache
+    #: entry adopted into the store on resume).
+    sources: dict = field(default_factory=dict)
+    #: cfg key -> error for configs that failed permanently.
+    failed: dict = field(default_factory=dict)
+    error: str = ""
+    #: in-memory RunEvent stream for poll/stream (not journaled; a
+    #: restarted service starts this ring empty).
+    events: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.configs)
+
+    @property
+    def from_store(self) -> int:
+        """Configs served without recomputation (store or cache dedup)."""
+        return sum(1 for s in self.sources.values() if s != "computed")
+
+    @property
+    def recomputed(self) -> int:
+        return sum(1 for s in self.sources.values() if s == "computed")
+
+    def view(self) -> dict:
+        """JSON-able summary (the ``poll`` / ``jobs`` wire payload)."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "status": self.status,
+            "total": self.total,
+            "completed": len(self.completed),
+            "from_store": self.from_store,
+            "recomputed": self.recomputed,
+            "failed": dict(self.failed),
+            "error": self.error,
+            "events": len(self.events),
+        }
+
+
+@dataclass
+class ServiceState:
+    """Folded view of a service journal."""
+
+    jobs: dict = field(default_factory=dict)  # job_id -> Job
+    #: submission order, for deterministic re-dispatch of resumed jobs.
+    order: list = field(default_factory=list)
+    rejected: int = 0
+    draining: bool = False
+
+    def next_seq(self) -> int:
+        best = 0
+        for job_id in self.jobs:
+            try:
+                best = max(best, int(job_id.lstrip("j")))
+            except ValueError:  # pragma: no cover - foreign id scheme
+                continue
+        return best + 1
+
+    def unfinished(self) -> list:
+        """Jobs to re-dispatch after a restart, submission order."""
+        return [self.jobs[j] for j in self.order
+                if self.jobs[j].status in (QUEUED, RUNNING)]
+
+
+def replay_service_journal(path: str | os.PathLike) -> Optional[ServiceState]:
+    """Fold a service journal; ``None`` when the file does not exist.
+
+    Tolerates torn tails exactly like the sweep journal (the writer
+    repairs them on open; the reader skips anything unparsable).  Jobs
+    interrupted mid-flight come back ``queued`` with completion state
+    intact.
+    """
+    from repro.experiments.journal import replay_journal  # noqa: F401
+    import json
+    from pathlib import Path
+
+    p = Path(path)
+    try:
+        raw = p.read_bytes()
+    except (FileNotFoundError, OSError):
+        return None
+    state = ServiceState()
+    for bline in raw.split(b"\n"):
+        try:
+            line = bline.decode("utf-8").strip()
+        except UnicodeDecodeError:
+            continue  # torn binary tail: recover the prefix
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+            ev = rec["ev"]
+        except (json.JSONDecodeError, TypeError, KeyError):
+            continue  # torn trailing write: never crash
+        if ev == "submit":
+            try:
+                configs = tuple(RunConfig.from_dict(c)
+                                for c in rec["configs"])
+            except (KeyError, TypeError, ValueError):
+                continue  # unreadable job record: skip it whole
+            job = Job(job_id=rec.get("job_id", ""),
+                      tenant=rec.get("tenant", "default"),
+                      priority=float(rec.get("priority", 0)),
+                      configs=configs)
+            state.jobs[job.job_id] = job
+            state.order.append(job.job_id)
+        elif ev == "rejected":
+            state.rejected += 1
+        elif ev == "job_start":
+            job = state.jobs.get(rec.get("job_id", ""))
+            if job is not None:
+                job.status = RUNNING
+        elif ev == "config_done":
+            job = state.jobs.get(rec.get("job_id", ""))
+            if job is not None and rec.get("key"):
+                job.completed[rec["key"]] = rec.get("digest", "")
+                job.sources[rec["key"]] = rec.get("source", "computed")
+        elif ev == "job_done":
+            job = state.jobs.get(rec.get("job_id", ""))
+            if job is not None:
+                job.status = DONE
+        elif ev == "job_failed":
+            job = state.jobs.get(rec.get("job_id", ""))
+            if job is not None:
+                job.status = FAILED
+                job.error = rec.get("error", "")
+                job.failed.update(rec.get("failed", {}))
+        elif ev == "drain":
+            state.draining = True
+        elif ev == "service_start":
+            # a fresh process: drain state does not survive a restart.
+            state.draining = False
+    # jobs caught mid-flight resume from the front of the queue.
+    for job in state.unfinished():
+        job.status = QUEUED
+    return state
+
+
+class ServiceJournal(SweepJournal):
+    """The service-level journal writer: same append-only fsynced
+    discipline (and torn-tail repair) as the executor's sweep journal,
+    different record vocabulary."""

@@ -1,0 +1,56 @@
+"""Priority scheduling with starvation aging.
+
+Jobs carry an integer priority (higher = sooner).  A pure priority
+queue starves low-priority tenants whenever a high-priority tenant
+keeps the queue warm, so the scheduler ages waiting jobs: a job's
+*effective* priority grows by ``aging_per_s`` for every second it has
+waited.  Given enough patience every job's effective priority exceeds
+any fixed submission priority — starvation is bounded, not possible.
+
+Ties (equal effective priority) break FIFO by submission sequence.  The
+queue is small (jobs, not runs), so selection is a linear scan — O(n)
+with n in the tens, and trivially correct under lazy aging, where a
+heap would need re-keying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class _Entry:
+    job_id: str
+    priority: float
+    enqueued_at: float
+    seq: int
+
+
+class PriorityScheduler:
+    def __init__(self, aging_per_s: float = 0.1):
+        self.aging_per_s = aging_per_s
+        self._entries: list[_Entry] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, job_id: str, priority: float, now: float) -> None:
+        self._entries.append(_Entry(job_id, float(priority), now, self._seq))
+        self._seq += 1
+
+    def effective_priority(self, entry: _Entry, now: float) -> float:
+        return entry.priority + max(0.0, now - entry.enqueued_at) * self.aging_per_s
+
+    def pop(self, now: float) -> str | None:
+        """Remove and return the most urgent job id (``None`` if idle)."""
+        if not self._entries:
+            return None
+        best = max(self._entries,
+                   key=lambda e: (self.effective_priority(e, now), -e.seq))
+        self._entries.remove(best)
+        return best.job_id
+
+    def queued_ids(self) -> list[str]:
+        """Job ids currently queued, in submission order."""
+        return [e.job_id for e in sorted(self._entries, key=lambda e: e.seq)]

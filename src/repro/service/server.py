@@ -1,0 +1,229 @@
+"""Local-socket front end for :class:`~repro.service.core.SweepService`.
+
+Wire protocol: newline-delimited JSON over an ``AF_UNIX`` stream socket.
+Each connection sends one request object and reads one response line —
+except ``stream``, which keeps the connection open and receives one
+``{"event": ...}`` line per run event followed by a terminal
+``{"done": true, "job": view}`` line.
+
+Requests (``op`` selects the verb)::
+
+    {"op": "submit", "configs": [RunConfig.to_dict(), ...],
+     "tenant": "alice", "priority": 1}
+    {"op": "poll",   "job_id": "j00001"}
+    {"op": "stream", "job_id": "j00001"}
+    {"op": "jobs"}
+    {"op": "fetch",  "job_id": "j00001"}
+    {"op": "health"}
+    {"op": "drain"}
+    {"op": "shutdown"}
+
+Responses always carry ``ok``; a rejected submission is
+``{"ok": false, "rejected": reason}`` — the admission layer's explicit
+refusal, distinct from ``{"ok": false, "error": ...}`` (a malformed
+request).  The server never kills the process on a bad request; a
+request it cannot parse gets an error response and the connection moves
+on — robustness at the front door, same as everywhere else.
+
+One background thread runs the service loop (jobs execute strictly one
+at a time; *within* a job the executor fans out over its process pool),
+while the socket server handles each connection on its own thread.
+``drain`` finishes queued work then stops the loop; ``shutdown`` stops
+immediately after the running job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.config import RunConfig
+from repro.service.core import SweepService
+
+
+def _parse_configs(raw) -> list[RunConfig]:
+    if not isinstance(raw, list) or not raw:
+        raise ValueError("configs must be a non-empty list of config objects")
+    return [RunConfig.from_dict(c) for c in raw]
+
+
+class SweepServer:
+    """Owns the service, its worker-loop thread, and the unix socket."""
+
+    def __init__(self, service: SweepService, socket_path: str | os.PathLike):
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self._stop = threading.Event()
+        self._loop_thread: Optional[threading.Thread] = None
+        try:
+            self.socket_path.unlink()  # stale socket from a killed server
+        except FileNotFoundError:
+            pass
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        outer = self
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self) -> None:  # pragma: no cover - thin dispatch
+                outer._handle(self)
+
+        class Server(socketserver.ThreadingMixIn,
+                     socketserver.UnixStreamServer):
+            daemon_threads = True
+            allow_reuse_address = True
+
+        self._server = Server(str(self.socket_path), Handler)
+
+    # -- request handling --------------------------------------------------
+
+    def _handle(self, handler: socketserver.StreamRequestHandler) -> None:
+        try:
+            line = handler.rfile.readline()
+            if not line:
+                return
+            try:
+                req = json.loads(line.decode("utf-8"))
+                if not isinstance(req, dict):
+                    raise ValueError("request must be a JSON object")
+                op = req.get("op")
+            except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+                self._send(handler, {"ok": False,
+                                     "error": f"bad request: {exc}"})
+                return
+            try:
+                self._dispatch(handler, op, req)
+            except Exception as exc:  # a bad request never kills the server
+                self._send(handler, {"ok": False,
+                                     "error": f"{type(exc).__name__}: {exc}"})
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def _send(self, handler, payload: dict) -> None:
+        handler.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+        handler.wfile.flush()
+
+    def _dispatch(self, handler, op: str, req: dict) -> None:
+        svc = self.service
+        if op == "submit":
+            configs = _parse_configs(req.get("configs"))
+            self._send(handler, svc.submit(
+                configs, tenant=str(req.get("tenant", "default")),
+                priority=float(req.get("priority", 0))))
+        elif op == "poll":
+            self._send(handler, svc.poll(str(req.get("job_id", ""))))
+        elif op == "jobs":
+            self._send(handler, {"ok": True, "jobs": svc.job_views()})
+        elif op == "fetch":
+            self._send(handler, svc.fetch(str(req.get("job_id", ""))))
+        elif op == "health":
+            self._send(handler, svc.health())
+        elif op == "stream":
+            self._stream(handler, str(req.get("job_id", "")))
+        elif op == "drain":
+            self._send(handler, svc.drain())
+        elif op == "shutdown":
+            self._send(handler, {"ok": True, "status": "stopping"})
+            self.stop()
+        else:
+            self._send(handler, {"ok": False,
+                                 "error": f"unknown op {op!r}"})
+
+    def _stream(self, handler, job_id: str) -> None:
+        """Tail a job's event ring until it reaches a terminal state."""
+        cursor = 0
+        while True:
+            chunk = self.service.stream(job_id, cursor)
+            if not chunk.get("ok"):
+                self._send(handler, chunk)
+                return
+            for ev in chunk["events"]:
+                self._send(handler, {"event": ev})
+            cursor = chunk["cursor"]
+            job = chunk["job"]
+            if job["status"] in ("done", "failed"):
+                self._send(handler, {"done": True, "job": job})
+                return
+            if self._stop.is_set():  # pragma: no cover - shutdown race
+                self._send(handler, {"done": False, "job": job})
+                return
+            self._stop.wait(0.05)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.service.process_next(wait_s=0.2)
+            if self.service.drained():
+                self.stop()
+                return
+
+    def start(self) -> None:
+        """Start the worker loop and the socket server (both background
+        threads); returns immediately."""
+        self._loop_thread = threading.Thread(target=self._loop,
+                                             name="sweep-service-loop",
+                                             daemon=True)
+        self._loop_thread.start()
+        threading.Thread(target=self._server.serve_forever,
+                         name="sweep-service-sock", daemon=True).start()
+
+    def stop(self) -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        # shutdown() must not be called from the serve_forever thread.
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        """Stop, wait for the worker loop to finish its current job, then
+        close the socket and the service journal.  Joining before closing
+        is what keeps a mid-job ``record()`` from hitting a closed file —
+        callable from any thread except the loop thread itself."""
+        self.stop()
+        if (self._loop_thread is not None
+                and self._loop_thread is not threading.current_thread()):
+            self._loop_thread.join(timeout=60.0)
+        self._server.server_close()
+        try:
+            self.socket_path.unlink()
+        except FileNotFoundError:
+            pass
+        self.service.close()
+
+    def serve_forever(self) -> None:
+        """Blocking entry point (the ``repro serve`` command): runs until
+        drained or shut down, then closes the journal cleanly."""
+        self.start()
+        try:
+            while not self._stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+        finally:
+            self.close()
+
+
+def default_socket_path(state_dir: str | os.PathLike) -> Path:
+    return Path(state_dir) / "service.sock"
+
+
+def wait_for_socket(path: str | os.PathLike, timeout_s: float = 10.0) -> bool:
+    """Poll until a server accepts connections on *path* (client helper
+    and test utility)."""
+    import time as _time
+
+    deadline = _time.monotonic() + timeout_s
+    while _time.monotonic() < deadline:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            s.connect(str(path))
+            return True
+        except OSError:
+            _time.sleep(0.05)
+        finally:
+            s.close()
+    return False

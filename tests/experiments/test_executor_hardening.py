@@ -62,6 +62,28 @@ def test_truncated_entry_is_discarded(tmp_path):
     assert not path.exists()  # quarantined, will be re-simulated
 
 
+def test_corrupt_entry_emits_cache_corrupt_event_and_is_counted(tmp_path):
+    res = execute_plan([CFG], cache_dir=tmp_path)
+    assert res.stats.cache_corrupt == 0
+    path = cache_path(tmp_path, CFG)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # the torn write
+    events = []
+    res = execute_plan([CFG], cache_dir=tmp_path, on_event=events.append)
+    corrupt = [ev for ev in events if ev.kind == "cache_corrupt"]
+    assert len(corrupt) == 1
+    assert corrupt[0].key == CFG.key()
+    assert "discarded corrupt cache entry" in corrupt[0].error
+    assert res.stats.cache_corrupt == 1
+    assert res.stats.cache_hits == 0
+    assert res.stats.simulated == 1  # transparently re-simulated
+    assert not res.failed
+    # the repaired entry is durable: the next sweep is a clean hit.
+    third = execute_plan([CFG], cache_dir=tmp_path)
+    assert third.stats.cache_hits == 1
+    assert third.stats.cache_corrupt == 0
+
+
 def test_bitrot_with_valid_json_is_caught_by_digest(tmp_path):
     store_cached(tmp_path, CFG, simulate_run(CFG))
     path = cache_path(tmp_path, CFG)
@@ -168,3 +190,44 @@ def test_exhausted_budget_fails_even_through_pool_breakage(tmp_path,
     # serial fallback must NOT grant a third try.
     assert CFG.key() in res.failed
     assert res.stats.simulated == 0
+
+
+def test_fallback_interleaves_validation_failures_and_quarantine(
+        tmp_path, monkeypatch):
+    """Pool crashes and validation failures interleave: the serial
+    fallback must keep both the consumed attempt counts AND the
+    validation-failure tally that drives quarantine."""
+    monkeypatch.setattr(ex, "ProcessPoolExecutor", _DoomedPool)
+    plan = ExecutionPlan.smoke(TINY_MESH)
+    liar = plan.configs[0].key()
+
+    def lying_worker(cfg):
+        payload = simulate_to_dict(cfg)
+        if cfg.key() == liar:
+            # parseable, plausible, wrong: only validation catches it.
+            payload["1"]["cycles_total"] = -1.0
+        return payload
+
+    events = []
+    res = execute_plan(plan, cache_dir=tmp_path, jobs=2, retries=4,
+                       validate=True, worker=lying_worker,
+                       on_event=events.append)
+    # the liar was quarantined after 2 validation failures, well before
+    # its 5-attempt retry budget ran out.
+    assert liar in res.quarantined
+    assert "2 validation failure(s)" in res.quarantined[liar]
+    assert res.stats.quarantined == 1
+    assert res.stats.validation_failures >= 2
+    # honest configs completed -- mid-budget, not reset to attempt 1,
+    # because the broken pools burned real attempts first.
+    done = [ev for ev in events if ev.kind == "done"]
+    assert {ev.key for ev in done} == {c.key() for c in plan.configs[1:]}
+    assert all(ev.attempt >= 2 for ev in done)
+    # the liar's invalid attempts also continued mid-budget.
+    invalid = [ev for ev in events
+               if ev.kind == "invalid" and ev.key == liar]
+    assert len(invalid) == 2
+    assert all(ev.attempt >= 2 for ev in invalid)
+    assert invalid[0].attempt < invalid[1].attempt  # budget kept ticking
+    quarantined = [ev for ev in events if ev.kind == "quarantined"]
+    assert [ev.key for ev in quarantined] == [liar]

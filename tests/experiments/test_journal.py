@@ -6,7 +6,11 @@ import pytest
 
 from repro.experiments.config import TINY_MESH, RunConfig
 from repro.experiments.executor import ExecutionPlan, execute_plan, simulate_to_dict
-from repro.experiments.journal import SweepJournal, replay_journal
+from repro.experiments.journal import (
+    SweepJournal,
+    repair_torn_tail,
+    replay_journal,
+)
 from repro.faults.injector import InterruptingWorker
 
 PLAN = ExecutionPlan.ladder(mesh=TINY_MESH, vector_sizes=(16,))
@@ -80,6 +84,62 @@ def test_torn_trailing_line_is_ignored(tmp_path):
     state = replay_journal(path)
     assert state.done == {"a"}
     assert state.interrupted
+
+
+def test_non_utf8_torn_tail_is_ignored(tmp_path):
+    path = tmp_path / "j"
+    with SweepJournal(path) as j:
+        j.record("sweep_start")
+        j.record("done", key="a")
+    with open(path, "ab") as fh:  # power loss mid-sector: raw garbage
+        fh.write(b'{"ev": "done", "key": "b\xff\xfe\x00')
+    state = replay_journal(path)
+    assert state.done == {"a"}
+
+
+# -- torn-tail repair on open ----------------------------------------------
+
+
+def test_repair_noops_on_absent_empty_and_healthy_files(tmp_path):
+    assert repair_torn_tail(tmp_path / "absent") == 0
+    empty = tmp_path / "empty"
+    empty.touch()
+    assert repair_torn_tail(empty) == 0
+    healthy = tmp_path / "healthy"
+    healthy.write_bytes(b'{"ev": "done"}\n')
+    assert repair_torn_tail(healthy) == 0
+    assert healthy.read_bytes() == b'{"ev": "done"}\n'
+
+
+def test_repair_truncates_to_last_complete_line(tmp_path):
+    path = tmp_path / "j"
+    path.write_bytes(b'{"ev": "done", "key": "a"}\n{"ev": "done", "key')
+    assert repair_torn_tail(path) == len(b'{"ev": "done", "key')
+    assert path.read_bytes() == b'{"ev": "done", "key": "a"}\n'
+
+
+def test_repair_empties_a_file_with_no_newline_at_all(tmp_path):
+    path = tmp_path / "j"
+    path.write_bytes(b'{"ev": "torn')
+    assert repair_torn_tail(path) == len(b'{"ev": "torn')
+    assert path.read_bytes() == b""
+
+
+def test_opening_a_journal_repairs_the_tail_before_appending(tmp_path):
+    path = tmp_path / "j"
+    with SweepJournal(path) as j:
+        j.record("sweep_start")
+        j.record("done", key="a")
+    with open(path, "ab") as fh:  # the crash hit mid-append
+        fh.write(b'{"ev": "done", "key": "b')
+    # a new writer must not splice its first record onto the fragment.
+    with SweepJournal(path) as j:
+        assert j.repaired_bytes == len(b'{"ev": "done", "key": "b')
+        j.record("done", key="c")
+    state = replay_journal(path)
+    assert state.done == {"a", "c"}  # the torn "b" is gone, not mangled
+    for line in path.read_text().splitlines():
+        json.loads(line)  # every surviving line is valid JSON
 
 
 def test_journal_lines_are_valid_sorted_json(tmp_path):

@@ -23,6 +23,13 @@ def test_run_config_key_stable_and_distinct():
     assert "vs64" in a.key()
 
 
+def test_session_rejects_unknown_backend_eagerly():
+    # the friendly registry error must fire at construction, not deep
+    # inside the first sweep.
+    with pytest.raises(ValueError, match="interpreter"):
+        Session(mesh_dims=TINY, backend="fortran")
+
+
 def test_counters_roundtrip(tmp_path):
     s = Session(mesh_dims=TINY, use_disk=False)
     run = s.run(opt="vanilla", vector_size=16)

@@ -1,0 +1,90 @@
+"""Admission control: token buckets, per-tenant limits, explicit reasons."""
+
+import pytest
+
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.chaos import StepClock
+
+
+def test_bucket_burst_then_refill():
+    clock = StepClock()
+    bucket = TokenBucket(2.0, 1.0, clock=clock)
+    assert bucket.try_take()
+    assert bucket.try_take()
+    assert not bucket.try_take()  # burst spent
+    clock.advance(1.0)
+    assert bucket.try_take()  # refilled 1 token/s
+
+
+def test_bucket_never_exceeds_capacity():
+    clock = StepClock()
+    bucket = TokenBucket(2.0, 10.0, clock=clock)
+    clock.advance(100.0)
+    assert bucket.available() == 2.0
+
+
+def test_bucket_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        TokenBucket(0.0, 1.0)
+
+
+def _controller(clock, **kw):
+    defaults = dict(tenant_burst=2.0, tenant_per_s=1.0,
+                    global_burst=10.0, global_per_s=0.0,
+                    max_queue_depth=4, clock=clock)
+    defaults.update(kw)
+    return AdmissionController(**defaults)
+
+
+def test_tenant_rate_limit_has_explicit_reason():
+    ctl = _controller(StepClock())
+    assert ctl.admit("alice").admitted
+    assert ctl.admit("alice").admitted
+    decision = ctl.admit("alice")
+    assert not decision.admitted
+    assert "tenant rate limit" in decision.reason
+    assert "alice" in decision.reason
+
+
+def test_tenants_are_isolated():
+    ctl = _controller(StepClock())
+    for _ in range(2):
+        assert ctl.admit("noisy").admitted
+    assert not ctl.admit("noisy").admitted
+    # the noisy neighbour has not touched bob's budget.
+    assert ctl.admit("bob").admitted
+
+
+def test_global_budget_rejection():
+    ctl = _controller(StepClock(), tenant_burst=10.0, global_burst=1.0)
+    assert ctl.admit("a").admitted
+    decision = ctl.admit("b")
+    assert not decision.admitted
+    assert "service rate limit" in decision.reason
+
+
+def test_queue_depth_bound():
+    ctl = _controller(StepClock())
+    decision = ctl.admit("alice", queue_depth=4)
+    assert not decision.admitted
+    assert "queue full" in decision.reason
+
+
+def test_rejection_consumes_no_tokens():
+    clock = StepClock()
+    ctl = _controller(clock, tenant_burst=1.0, tenant_per_s=0.0,
+                      global_burst=1.0)
+    assert ctl.admit("a").admitted
+    for _ in range(5):  # hammering while rejected burns nothing
+        assert not ctl.admit("b").admitted
+    health = ctl.health()
+    assert health["tenants"]["b"] == 1.0  # b's own bucket untouched
+
+
+def test_refill_recovers_admission():
+    clock = StepClock()
+    ctl = _controller(clock)
+    ctl.admit("alice"), ctl.admit("alice")
+    assert not ctl.admit("alice").admitted
+    clock.advance(1.0)
+    assert ctl.admit("alice").admitted

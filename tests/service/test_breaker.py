@@ -1,0 +1,85 @@
+"""The circuit breaker state machine, on injected clock time."""
+
+import pytest
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.chaos import StepClock
+
+
+def _breaker(clock, threshold=2, cooldown=10.0):
+    return CircuitBreaker(failure_threshold=threshold, cooldown_s=cooldown,
+                          clock=clock)
+
+
+def test_closed_allows_and_tolerates_subthreshold_failures():
+    b = _breaker(StepClock())
+    assert b.allow()
+    b.record_failure()
+    assert b.state == CLOSED
+    assert b.allow()
+
+
+def test_threshold_trips_open():
+    b = _breaker(StepClock())
+    b.record_failure()
+    b.record_failure()
+    assert b.state == OPEN
+    assert b.trips == 1
+    assert not b.allow()
+    assert "open" in b.describe()
+
+
+def test_success_resets_the_failure_streak():
+    b = _breaker(StepClock())
+    b.record_failure()
+    b.record_success()
+    b.record_failure()
+    assert b.state == CLOSED  # streak broken: 1+1 never reached 2
+
+
+def test_cooldown_half_opens_with_a_single_probe():
+    clock = StepClock()
+    b = _breaker(clock)
+    b.record_failure(), b.record_failure()
+    clock.advance(10.0)
+    assert b.state == HALF_OPEN
+    assert b.allow()  # the one probe
+    assert not b.allow()  # a second concurrent job may not pass
+
+
+def test_probe_success_closes():
+    clock = StepClock()
+    b = _breaker(clock)
+    b.record_failure(), b.record_failure()
+    clock.advance(10.0)
+    assert b.allow()
+    b.record_success()
+    assert b.state == CLOSED
+    assert b.allow()
+
+
+def test_probe_failure_reopens_for_another_cooldown():
+    clock = StepClock()
+    b = _breaker(clock)
+    b.record_failure(), b.record_failure()
+    clock.advance(10.0)
+    assert b.allow()
+    b.record_failure()
+    assert b.state == OPEN
+    assert b.trips == 2
+    assert not b.allow()
+    clock.advance(10.0)
+    assert b.allow()  # half-open again
+
+
+def test_threshold_must_be_positive():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+
+
+def test_health_document():
+    b = _breaker(StepClock())
+    b.record_failure()
+    health = b.health()
+    assert health == {"state": "closed", "trips": 0,
+                      "consecutive_failures": 1}

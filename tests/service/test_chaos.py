@@ -1,0 +1,49 @@
+"""The service chaos drills: every injected fault classifies safely."""
+
+from repro.faults.chaos import (
+    CLEAN,
+    RECOVERED,
+    REJECTED,
+    ChaosReport,
+    StageReport,
+)
+from repro.service.chaos import SERVICE_FAULT_KINDS, run_service_campaign
+
+
+def test_in_process_service_faults_all_classify_safely(tmp_path):
+    rep = run_service_campaign(seed=0, out_dir=tmp_path,
+                               include_kill=False)
+    assert rep.ok
+    by_kind = {st.kind: st for st in rep.stages}
+    # every in-process service fault kind is drilled and classified.
+    for kind in SERVICE_FAULT_KINDS:
+        if kind == "service_kill":
+            continue
+        assert kind in by_kind, f"{kind} was not drilled"
+    assert by_kind["hung_worker"].classification == RECOVERED
+    assert by_kind["torn_shard"].classification == RECOVERED
+    assert by_kind["submission_flood"].classification == REJECTED
+    assert by_kind["worker_failure_storm"].classification == RECOVERED
+    assert by_kind["none"].classification == CLEAN  # dedup baseline
+    # zero silent loss is the whole contract.
+    assert rep.counts["silent"] == 0
+    md = (tmp_path / "chaos-summary.md").read_text()
+    assert "rejected" in md
+    assert (tmp_path / "chaos-report.json").exists()
+
+
+def test_flood_accounting_is_total(tmp_path):
+    rep = run_service_campaign(seed=0, include_kill=False)
+    flood = next(st for st in rep.stages
+                 if st.kind == "submission_flood")
+    assert any("accounted: True" in e for e in flood.evidence)
+    assert any("rejection reasons" in e for e in flood.evidence)
+
+
+def test_rejected_is_a_first_class_classification():
+    rep = ChaosReport(seed=0, mesh_dims=(4, 4, 4), plan_size=1)
+    rep.stages.append(StageReport(name="s", kind="flood", target="",
+                                  classification=REJECTED))
+    assert rep.counts[REJECTED] == 1
+    assert rep.ok  # rejected is a safe outcome, not a failure
+    assert "rejected" in rep.to_markdown()

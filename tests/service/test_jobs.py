@@ -1,0 +1,128 @@
+"""Service journal replay: durable jobs, resume semantics, torn tails."""
+
+from repro.experiments.config import TINY_MESH, RunConfig
+from repro.service.jobs import (
+    DONE,
+    QUEUED,
+    Job,
+    ServiceJournal,
+    replay_service_journal,
+)
+
+CFG_A = RunConfig(opt="scalar", vector_size=16, mesh_dims=TINY_MESH)
+CFG_B = RunConfig(opt="vec1", vector_size=16, mesh_dims=TINY_MESH)
+
+
+def test_missing_journal_replays_to_none(tmp_path):
+    assert replay_service_journal(tmp_path / "nope") is None
+
+
+def _submit(j, job_id, configs, tenant="alice", priority=0.0):
+    j.record("submit", job_id=job_id, tenant=tenant, priority=priority,
+             configs=[c.to_dict() for c in configs])
+
+
+def test_config_roundtrips_through_the_journal(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        _submit(j, "j00001", [CFG_A, CFG_B])
+    state = replay_service_journal(path)
+    job = state.jobs["j00001"]
+    assert [c.key() for c in job.configs] == [CFG_A.key(), CFG_B.key()]
+
+
+def test_finished_jobs_are_not_requeued(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        _submit(j, "j00001", [CFG_A])
+        j.record("job_start", job_id="j00001")
+        j.record("config_done", job_id="j00001", key=CFG_A.key(),
+                 digest="d1", source="computed")
+        j.record("job_done", job_id="j00001")
+    state = replay_service_journal(path)
+    assert state.jobs["j00001"].status == DONE
+    assert state.unfinished() == []
+
+
+def test_interrupted_job_resumes_queued_with_completions_intact(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        _submit(j, "j00001", [CFG_A, CFG_B])
+        j.record("job_start", job_id="j00001")
+        j.record("config_done", job_id="j00001", key=CFG_A.key(),
+                 digest="d1", source="computed")
+        # the service died here: no job_done.
+    state = replay_service_journal(path)
+    job = state.jobs["j00001"]
+    assert job.status == QUEUED  # re-dispatched, not lost
+    assert job.completed == {CFG_A.key(): "d1"}
+    assert state.unfinished() == [job]
+
+
+def test_rejections_are_counted(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        j.record("rejected", tenant="mallory", reason="tenant rate limit")
+        j.record("rejected", tenant="mallory", reason="tenant rate limit")
+    assert replay_service_journal(path).rejected == 2
+
+
+def test_drain_does_not_survive_a_restart(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        j.record("drain")
+        j.record("service_start", jobs=1)
+    assert not replay_service_journal(path).draining
+
+
+def test_failed_job_carries_error_and_failed_map(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        _submit(j, "j00001", [CFG_A])
+        j.record("job_start", job_id="j00001")
+        j.record("job_failed", job_id="j00001", error="1 run(s) failed",
+                 failed={CFG_A.key(): "boom"})
+    job = replay_service_journal(path).jobs["j00001"]
+    assert job.status == "failed"
+    assert job.failed == {CFG_A.key(): "boom"}
+    assert replay_service_journal(path).unfinished() == []
+
+
+def test_next_seq_continues_after_existing_ids(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        _submit(j, "j00007", [CFG_A])
+    assert replay_service_journal(path).next_seq() == 8
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        _submit(j, "j00001", [CFG_A])
+        j.record("job_start", job_id="j00001")
+    with open(path, "ab") as fh:  # crash mid-append: torn binary tail
+        fh.write(b'{"ev": "config_done", "job_id": "j000\xff\x00')
+    state = replay_service_journal(path)
+    assert state.jobs["j00001"].completed == {}
+    assert state.unfinished()  # the intact prefix was recovered
+
+
+def test_unreadable_submit_record_is_skipped_whole(tmp_path):
+    path = tmp_path / "svc.journal"
+    with ServiceJournal(path) as j:
+        j.record("submit", job_id="jBAD", tenant="x", priority=0,
+                 configs=[{"opt": "no-such-rung"}])
+        _submit(j, "j00002", [CFG_A])
+    state = replay_service_journal(path)
+    assert "jBAD" not in state.jobs
+    assert "j00002" in state.jobs
+
+
+def test_job_view_counts_provenance():
+    job = Job(job_id="j1", tenant="t", priority=0.0, configs=(CFG_A, CFG_B))
+    job.completed = {CFG_A.key(): "d1", CFG_B.key(): "d2"}
+    job.sources = {CFG_A.key(): "store", CFG_B.key(): "computed"}
+    view = job.view()
+    assert view["from_store"] == 1
+    assert view["recomputed"] == 1
+    assert view["completed"] == 2

@@ -1,0 +1,40 @@
+"""Priority scheduling and starvation aging."""
+
+from repro.service.scheduler import PriorityScheduler
+
+
+def test_higher_priority_pops_first():
+    s = PriorityScheduler()
+    s.push("low", 0.0, now=0.0)
+    s.push("high", 5.0, now=0.0)
+    assert s.pop(now=0.0) == "high"
+    assert s.pop(now=0.0) == "low"
+    assert s.pop(now=0.0) is None
+
+
+def test_equal_priority_is_fifo():
+    s = PriorityScheduler()
+    s.push("first", 1.0, now=0.0)
+    s.push("second", 1.0, now=0.0)
+    assert s.pop(now=0.0) == "first"
+    assert s.pop(now=0.0) == "second"
+
+
+def test_aging_prevents_starvation():
+    s = PriorityScheduler(aging_per_s=0.1)
+    s.push("patient", 0.0, now=0.0)
+    s.push("vip", 1.0, now=0.0)
+    assert s.pop(now=5.0) == "vip"  # young queue: priority rules
+    # 20s later the patient job has aged to effective priority 2.0; a
+    # freshly submitted vip (effective 1.0) can no longer jump it.
+    s.push("vip2", 1.0, now=20.0)
+    assert s.pop(now=20.0) == "patient"
+    assert s.pop(now=20.0) == "vip2"
+
+
+def test_queued_ids_in_submission_order():
+    s = PriorityScheduler()
+    s.push("a", 0.0, now=0.0)
+    s.push("b", 9.0, now=0.0)
+    assert s.queued_ids() == ["a", "b"]
+    assert len(s) == 2

@@ -1,0 +1,67 @@
+"""The kill-mid-sweep drill against a real ``repro serve`` process.
+
+SIGKILL is the harshest failure the service promises to survive: no
+atexit hooks, no signal handlers, the process is simply gone.  The
+restarted service must resume the in-flight job with every journaled
+completion served from the store — zero silent loss, zero recomputation
+of finished work."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import TINY_MESH
+from repro.experiments.executor import ExecutionPlan
+from repro.service import ServiceClient, SweepService, wait_for_socket
+
+PLAN = ExecutionPlan.ladder(mesh=TINY_MESH, vector_sizes=(16,))
+CONFIGS = list(PLAN)
+
+
+@pytest.mark.slow
+def test_sigkilled_service_resumes_without_losing_results(tmp_path):
+    state = tmp_path / "svc"
+    sock = state / "service.sock"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--state-dir", str(state),
+         "--socket", str(sock), "--worker-delay", "0.2"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    pre_kill = 0
+    try:
+        assert wait_for_socket(sock, timeout_s=20.0)
+        client = ServiceClient(sock, timeout_s=30.0)
+        resp = client.submit(CONFIGS, tenant="alice")
+        assert resp["ok"]
+        job_id = resp["job_id"]
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            view = client.poll(job_id).get("job", {})
+            pre_kill = int(view.get("completed", 0))
+            if pre_kill >= 2:
+                break
+            time.sleep(0.05)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30.0)
+    assert 1 <= pre_kill < len(CONFIGS), "kill must land mid-sweep"
+
+    svc = SweepService(str(state))
+    assert svc.resumed_jobs == 1
+    assert svc.process_next(wait_s=1.0) == job_id
+    view = svc.poll(job_id)["job"]
+    svc.close()
+    assert view["status"] == "done"
+    assert view["completed"] == len(CONFIGS)
+    assert view["failed"] == {}
+    # every completion journaled before the SIGKILL is served from the
+    # store, never recomputed.
+    assert view["from_store"] >= pre_kill

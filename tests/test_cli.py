@@ -110,6 +110,26 @@ def test_parser_rejects_bad_table():
         build_parser().parse_args(["table", "9"])
 
 
+def test_parser_rejects_unknown_backend_listing_registry(capsys):
+    # choices come from the live registry: the error names the known
+    # backends instead of surfacing a KeyError deep in the stack.
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "--backend", "fortran"])
+    err = capsys.readouterr().err
+    assert "interpreter" in err and "numpy" in err
+
+
+def test_parser_accepts_service_commands():
+    args = build_parser().parse_args(["serve", "--state-dir", "x"])
+    assert args.command == "serve"
+    args = build_parser().parse_args(["submit", "--ladder", "--wait"])
+    assert args.command == "submit" and args.ladder and args.wait
+    args = build_parser().parse_args(["jobs", "--health"])
+    assert args.command == "jobs" and args.health
+    args = build_parser().parse_args(["chaos", "--service-faults"])
+    assert args.service_faults
+
+
 def test_roofline_command(capsys):
     code, out = run_cli(capsys, "roofline", "--opt", "vec1", "--vs", "64")
     assert code == 0
