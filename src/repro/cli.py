@@ -27,8 +27,18 @@ command per artifact or workflow:
   content-addressed result store (see ``repro.service``);
 * ``submit``                    -- submit a sweep to a running service
   (``--ladder`` for the full rung ladder) and optionally wait/stream;
-* ``jobs``                      -- inspect a running service: job table,
-  single-job view, results, health, drain, shutdown.
+* ``jobs``                      -- inspect a running service: job table
+  (+ a one-line health summary), single-job view, results, health,
+  drain, shutdown;
+* ``top``                       -- live terminal dashboard over the
+  service's ``metrics``/``health`` verbs: queue depth, tenant table,
+  breaker state, SLO verdicts; ``--once --json`` emits the curated
+  byte-deterministic snapshot for scripting and CI diffs.
+
+``submit --trace`` stamps a trace id that travels through the journal,
+worker processes, and result store; ``trace --job ID --state-dir DIR``
+then renders the job's single cross-process timeline (client-submit →
+queue-wait → worker-execute → store-write).
 
 Sweep-shaped commands (``table`` / ``figure`` / ``sweep`` / ``report`` /
 ``bench``) accept ``--jobs/-j N`` to fan uncached simulations across a
@@ -243,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="block until the job reaches a terminal state")
     p.add_argument("--stream", action="store_true",
                    help="stream run events live until the job finishes")
+    p.add_argument("--trace", action="store_true",
+                   help="stamp a trace id on the submission; the service "
+                        "propagates it through journal, workers, and "
+                        "store, and exports the job's cross-process "
+                        "timeline for 'repro trace --job'")
     _add_common(p)
 
     p = sub.add_parser("jobs", help="inspect a running sweep service")
@@ -259,6 +274,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "service exits")
     p.add_argument("--shutdown", action="store_true",
                    help="stop the service after the running job")
+
+    p = sub.add_parser("top", help="live dashboard over a running sweep "
+                                   "service (metrics + health + SLOs)")
+    p.add_argument("--socket", default="sweep-service/service.sock",
+                   metavar="PATH", help="service socket path")
+    p.add_argument("--interval", type=float, default=2.0, metavar="S",
+                   help="refresh interval in seconds (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (no screen refresh)")
+    p.add_argument("--json", action="store_true",
+                   help="with --once: emit the curated deterministic "
+                        "status JSON (byte-identical across identical "
+                        "sessions) instead of the rendered dashboard")
 
     p = sub.add_parser("bench", help="time the sweep executor (serial vs "
                                      "parallel) and write a JSON report")
@@ -312,6 +340,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also export a Chrome trace_event JSON "
                         "(open in chrome://tracing or Perfetto)")
+    p.add_argument("--job", default=None, metavar="ID",
+                   help="render a traced service job's cross-process "
+                        "timeline (from STATE_DIR/traces/ID.json) "
+                        "instead of running a new traced simulation")
+    p.add_argument("--state-dir", default="sweep-service", metavar="DIR",
+                   help="service state dir for --job (default "
+                        "./sweep-service)")
 
     p = sub.add_parser("roofline", help="per-phase roofline analysis")
     _add_common(p)
@@ -361,6 +396,36 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _append_bench_history(report_path, payload: dict):
+    """Append one machine/preset-keyed line to ``BENCH_history.jsonl``
+    next to the report, so successive ``repro bench`` runs accumulate a
+    local performance timeline.  Best-effort: an unwritable history file
+    never fails the bench that produced it.  Returns the history path,
+    or ``None`` if the append failed."""
+    import platform
+
+    entry = {
+        "timestamp": payload["timestamp"],
+        "host": platform.node() or "unknown",
+        "machine": platform.machine() or "unknown",
+        "mesh": payload["mesh"],
+        "profile": payload["profile"],
+        "configs": payload["configs"],
+        "jobs": payload["jobs"],
+        "serial_s": payload["serial_s"],
+        "parallel_s": payload["parallel_s"],
+        "warm_s": payload["warm_s"],
+        "speedup": payload["speedup"],
+    }
+    history = report_path.parent / "BENCH_history.jsonl"
+    try:
+        with history.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError:
+        return None
+    return history
+
+
 def _cmd_bench(args) -> int:
     """Cold serial vs cold parallel vs warm recall over one plan."""
     import tempfile
@@ -407,6 +472,7 @@ def _cmd_bench(args) -> int:
         "phase_cycles": gate.phase_cycles_payload(serial_res.runs),
     }
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    history = _append_bench_history(Path(args.output), payload)
     rows = [["", "wall-clock [s]", "simulated", "cache hits"],
             ["serial (j=1)", f"{serial_s:.2f}",
              str(serial_res.stats.simulated), str(serial_res.stats.cache_hits)],
@@ -417,7 +483,8 @@ def _cmd_bench(args) -> int:
              str(warm_res.stats.cache_hits)]]
     print(report.format_table(rows))
     print(f"\nspeedup (serial/parallel): {payload['speedup']}x"
-          f" -- report written to {args.output}")
+          f" -- report written to {args.output}"
+          + (f", history appended to {history}" if history else ""))
 
     if args.baseline:
         threshold = (gate.DEFAULT_THRESHOLD if args.threshold is None
@@ -465,7 +532,9 @@ def _cmd_chaos(args) -> int:
     print(report.format_table(rows))
     counts = rep.counts
     print(f"\nseed {rep.seed}: {counts['recovered']} recovered, "
-          f"{counts['detected']} detected, {counts['rejected']} rejected, "
+          f"{counts['detected']} detected, "
+          f"{counts.get('degraded', 0)} degraded, "
+          f"{counts['rejected']} rejected, "
           f"{counts['clean']} clean, {counts['silent']} silent "
           f"-- report written to {args.output}/chaos-report.json")
     if not rep.ok:
@@ -577,12 +646,69 @@ def _cmd_codesign(args) -> int:
     return 0
 
 
+#: logical stage order of a traced service job — the render sorts by
+#: stage first so the timeline reads submit → queue → execute → store
+#: even though worker-process spans carry their own wall epoch.
+_TRACE_STAGE_ORDER = {"client": 0, "service": 1, "worker": 2,
+                      "run": 2, "store": 3}
+
+
+def _cmd_trace_job(args) -> int:
+    """Render a traced service job's single cross-process timeline from
+    the trace file the service exported at job completion."""
+    from pathlib import Path
+
+    path = Path(args.state_dir) / "traces" / f"{args.job}.json"
+    if not path.exists():
+        print(f"no trace for job {args.job}: {path} not found "
+              f"(was the job submitted with --trace?)",
+              file=sys.stderr, flush=True)
+        return 1
+    doc = json.loads(path.read_text())
+    meta = doc.get("otherData", {})
+    events = doc.get("traceEvents", [])
+    trace_id = meta.get("trace_id", "")
+
+    spans = []
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        cat = ev.get("cat", "")
+        if cat not in _TRACE_STAGE_ORDER:
+            continue  # SIM phase/block spans: not part of the job story
+        spans.append(ev)
+    spans.sort(key=lambda e: (_TRACE_STAGE_ORDER.get(e.get("cat", ""), 9),
+                              e.get("ts", 0), str(e.get("name", ""))))
+    ids = sorted({str(e.get("args", {}).get("trace", ""))
+                  for e in spans} - {""})
+
+    print(f"job {args.job} — trace {trace_id or '?'} "
+          f"(tenant {meta.get('tenant', '?')}, {len(spans)} span(s) "
+          f"across {len({e.get('pid') for e in spans})} process row(s))")
+    rows = [["stage", "span", "t [ms]", "dur [ms]", "pid"]]
+    for ev in spans:
+        rows.append([ev.get("cat", "?"), str(ev.get("name", "?")),
+                     f"{ev.get('ts', 0) / 1e3:.3f}",
+                     f"{ev.get('dur', 0) / 1e3:.3f}",
+                     str(ev.get("pid", "?"))])
+    print(report.format_table(rows))
+    if ids and (len(ids) > 1 or (trace_id and ids != [trace_id])):
+        print(f"\nWARNING: spans carry {len(ids)} distinct trace id(s): "
+              f"{', '.join(ids)}", file=sys.stderr, flush=True)
+        return 1
+    print(f"\nall spans share trace id {trace_id or (ids[0] if ids else '?')}"
+          f" — full Chrome trace at {path}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro import obs
     from repro.machine.machines import get_machine
     from repro.obs import chrome, render
     from repro.trace import paraver, phase_stats
 
+    if args.job:
+        return _cmd_trace_job(args)
     if args.preset:
         args.mesh = args.preset
     tracer = obs.Tracer()
@@ -672,14 +798,17 @@ def _cmd_submit(args) -> int:
 
     client = ServiceClient(args.socket)
     resp = client.submit(_submit_configs(args), tenant=args.tenant,
-                         priority=args.priority)
+                         priority=args.priority, trace=args.trace)
     if not resp.get("ok"):
         # an explicit rejection is the admission contract, not a crash.
         print(f"rejected: {resp.get('rejected', resp.get('error'))}",
               file=sys.stderr, flush=True)
         return 1
     job_id = resp["job_id"]
-    print(f"submitted {job_id} (queue depth {resp['queued']})")
+    print(f"submitted {job_id} (queue depth {resp['queued']})"
+          + (f", trace {resp['trace_id']} — inspect with "
+             f"'repro trace --job {job_id}'"
+             if resp.get("trace_id") else ""))
     if args.stream:
         for rec in client.stream(job_id):
             if "event" in rec:
@@ -742,7 +871,104 @@ def _cmd_jobs(args) -> int:
                      v["status"], f"{v['completed']}/{v['total']}",
                      str(v["from_store"]), str(v["recomputed"])])
     print(report.format_table(rows))
+    # one health line under the table: the service-side view the job
+    # rows alone can't show (queue, breaker, liveness, SLO state).
+    h = client.health()
+    breaker = h.get("breaker", {})
+    print(f"\nservice {h.get('status', '?')} — "
+          f"queue {h.get('queue_depth', '?')}, "
+          f"running {h.get('running') or '-'}, "
+          f"breaker {breaker.get('state', '?')} "
+          f"({breaker.get('trips', 0)} trip(s)), "
+          f"rejected {h.get('rejected_total', 0)}, "
+          f"slo breaches {h.get('slo_breaches', 0)}")
     return 0
+
+
+def _render_top(health: dict, metrics: dict) -> str:
+    """One dashboard frame: service line, tenant/SLO table, counters."""
+    lines = []
+    breaker = health.get("breaker", {})
+    store = health.get("store", {})
+    jobs = health.get("jobs", {})
+    lines.append(
+        f"sweep service: {health.get('status', '?')} — "
+        f"queue {health.get('queue_depth', '?')}, "
+        f"running {health.get('running') or '-'}, "
+        f"breaker {breaker.get('state', '?')} "
+        f"({breaker.get('trips', 0)} trip(s))")
+    lines.append(
+        f"jobs: " + (", ".join(f"{k}={v}" for k, v in sorted(jobs.items()))
+                     or "none")
+        + f"; store: {store.get('objects', 0)} object(s), "
+          f"{store.get('dedup_hits', 0)} dedup hit(s); "
+          f"rejected {health.get('rejected_total', 0)}, "
+          f"slo breaches {health.get('slo_breaches', 0)}")
+    lines.append("")
+
+    counters = metrics.get("metrics", {}).get("counters", {})
+
+    def _count(name: str, tenant: str) -> str:
+        return f"{counters.get(f'{name}{{tenant={tenant}}}', 0):g}"
+
+    slo = metrics.get("slo", {})
+    rows = [["tenant", "submit", "reject", "done", "failed",
+             "wait p95 [s]", "rate", "slo"]]
+    for tenant in sorted(slo):
+        v = slo[tenant]
+        wait, rate = v.get("queue_wait", {}), v.get("completion_rate", {})
+        rows.append([
+            tenant,
+            _count("service_submits_total", tenant),
+            _count("service_rejects_total", tenant),
+            _count("service_jobs_done_total", tenant),
+            _count("service_jobs_failed_total", tenant),
+            str(wait.get("p95_s", "-")),
+            "-" if rate.get("rate") is None else f"{rate['rate']:.2f}",
+            "ok" if v.get("ok") else "BREACH",
+        ])
+    if len(rows) > 1:
+        lines.append(report.format_table(rows))
+    else:
+        lines.append("no tenants yet — waiting for submissions")
+    policy = metrics.get("slo_policy", {})
+    if policy:
+        lines.append(
+            f"\nslo policy: queue-wait p95 <= "
+            f"{policy.get('queue_wait_p95_s')}s, completion rate >= "
+            f"{policy.get('completion_rate_min')} "
+            f"(judged after {policy.get('min_events')} event(s))")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    from repro.service import ServiceClient, ServiceError, stable_status
+
+    client = ServiceClient(args.socket)
+    if args.json and not args.once:
+        print("--json requires --once (the curated snapshot is for "
+              "scripting, not the refresh loop)", file=sys.stderr, flush=True)
+        return 2
+    try:
+        while True:
+            health = client.health()
+            metrics = client.metrics()
+            if args.json:
+                print(json.dumps(stable_status(health, metrics),
+                                 indent=2, sort_keys=True))
+                return 0
+            frame = _render_top(health, metrics)
+            if args.once:
+                print(frame)
+                return 0
+            # home + clear-to-end keeps the frame flicker-free.
+            print(f"\x1b[H\x1b[2J{frame}", flush=True)
+            time.sleep(args.interval)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr, flush=True)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -764,6 +990,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": lambda: _cmd_serve(args),
         "submit": lambda: _cmd_submit(args),
         "jobs": lambda: _cmd_jobs(args),
+        "top": lambda: _cmd_top(args),
     }
     return handlers[args.command]()
 

@@ -64,6 +64,7 @@ from repro.metrics.counters import (
     counters_from_dict,
     counters_to_dict,
 )
+from repro.obs.metrics import active as _metrics_active
 from repro.obs.tracer import active as _obs_active
 
 #: bump when the timing model OR the cache payload schema changes so
@@ -451,6 +452,7 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
     result = ExecutionResult()
     t_start = time.monotonic()
     tracer = _obs_active()
+    registry = _metrics_active()
 
     jstate = replay_journal(journal) if journal is not None else None
     jwriter = SweepJournal(journal) if journal is not None else None
@@ -474,6 +476,9 @@ def execute_plan(plan: ExecutionPlan | Sequence[RunConfig], *,
             tracer.event(kind, cat="executor", key=key, attempt=attempt,
                          error=error)
             tracer.counter("queue depth", len(todo))
+        if registry is not None:
+            registry.counter("executor_events_total", kind=kind).inc()
+            registry.gauge("executor_queue_depth").set(len(todo))
         if on_event is None:
             return
         try:

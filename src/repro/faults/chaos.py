@@ -67,9 +67,14 @@ from repro.metrics.counters import counters_to_dict
 #: stage classifications, best to worst.  ``rejected`` is the service
 #: campaign's third safe outcome: the fault (e.g. a submission flood)
 #: was shed with an explicit refusal — load was lost *visibly*, by
-#: contract, which is as much a success as recovery.
+#: contract, which is as much a success as recovery.  ``degraded`` is
+#: the telemetry plane's outcome: the service kept running but an SLO
+#: was breached, the breach was *detected and journaled* as a
+#: first-class event — degradation the operator was told about, not
+#: degradation that slipped by.
 RECOVERED, DETECTED, CLEAN, SILENT = "recovered", "detected", "clean", "silent"
 REJECTED = "rejected"
+DEGRADED = "degraded"
 
 
 @dataclass
@@ -99,7 +104,8 @@ class ChaosReport:
 
     @property
     def counts(self) -> dict[str, int]:
-        out = {RECOVERED: 0, DETECTED: 0, REJECTED: 0, CLEAN: 0, SILENT: 0}
+        out = {RECOVERED: 0, DETECTED: 0, DEGRADED: 0, REJECTED: 0,
+               CLEAN: 0, SILENT: 0}
         for st in self.stages:
             out[st.classification] = out.get(st.classification, 0) + 1
         return out
@@ -134,7 +140,7 @@ class ChaosReport:
         for st in self.stages:
             badge = {"silent": "**SILENT**", "detected": "detected",
                      "recovered": "recovered", "rejected": "rejected",
-                     "clean": "clean"}.get(
+                     "degraded": "degraded", "clean": "clean"}.get(
                          st.classification, st.classification)
             lines.append(f"| {st.name} | {st.kind} | {st.target or '-'} "
                          f"| {badge} |")
@@ -142,8 +148,8 @@ class ChaosReport:
         lines += [
             "",
             f"**{c[RECOVERED]} recovered · {c[DETECTED]} detected · "
-            f"{c[REJECTED]} rejected · {c[CLEAN]} clean · "
-            f"{c[SILENT]} silent** — "
+            f"{c[DEGRADED]} degraded · {c[REJECTED]} rejected · "
+            f"{c[CLEAN]} clean · {c[SILENT]} silent** — "
             + ("campaign ok" if self.ok
                else "FAIL: fault(s) silently absorbed"),
             "",

@@ -62,17 +62,34 @@ def trace_path(trace_dir: str | os.PathLike, key: str) -> Path:
     return Path(trace_dir) / f"worker-{os.getpid()}-{key}.json"
 
 
+def _merge_order(path: Path) -> tuple[str, str]:
+    """Sort key for merging: the run's config key first, pid second.
+
+    Filenames are ``worker-<pid>-<key>.json``; sorting raw filenames
+    would order by pid, and worker pids differ run to run — the merged
+    event order (and therefore the remapped pids) would too.  Keying by
+    the config key makes two identical sweeps merge identically
+    regardless of which OS pids the pool happened to get.
+    """
+    parts = path.name[:-len(".json")].split("-", 2)
+    if len(parts) == 3:
+        return (parts[2], parts[1])
+    return (path.name, "")  # foreign filename: stable fallback
+
+
 def merge_worker_traces(tracer: Tracer, trace_dir: str | os.PathLike) -> int:
     """Ingest every per-worker trace file into *tracer*.
 
-    Worker pids are remapped to stable small ids in filename order so
-    merged traces are deterministic for a given sweep layout.  Returns
-    the number of files merged; unreadable files are skipped (a lost
-    trace must never fail the sweep that produced it).
+    Worker pids are remapped to stable small ids in *config-key* order
+    (see :func:`_merge_order`) so merged traces — including the pid
+    remap itself — are byte-deterministic across identical sweeps.
+    Returns the number of files merged; unreadable files are skipped (a
+    lost trace must never fail the sweep that produced it).
     """
     merged = 0
     next_pid = WORKER_PID_BASE
-    for path in sorted(Path(trace_dir).glob("worker-*.json")):
+    for path in sorted(Path(trace_dir).glob("worker-*.json"),
+                       key=_merge_order):
         try:
             events = chrome.load(path)
         except (OSError, ValueError):

@@ -10,6 +10,9 @@ Layers (each its own module, each independently testable):
 * :mod:`.breaker` — the circuit breaker;
 * :mod:`.scheduler` — priority scheduling with starvation aging;
 * :mod:`.jobs` — job records + the durable service journal;
+* :mod:`.telemetry` — the metrics plane: one
+  :class:`~repro.obs.metrics.MetricsRegistry` every component publishes
+  into, plus per-tenant SLO verdicts with journaled breaches;
 * :mod:`.core` — :class:`SweepService`, tying it all together;
 * :mod:`.server` / :mod:`.client` — the unix-socket front end
   (``repro serve`` / ``repro submit`` / ``repro jobs``);
@@ -29,6 +32,7 @@ from repro.service.server import (
     wait_for_socket,
 )
 from repro.service.store import ResultStore
+from repro.service.telemetry import ServiceTelemetry, SLOPolicy, stable_status
 
 __all__ = [
     "AdmissionController",
@@ -37,13 +41,16 @@ __all__ = [
     "Job",
     "PriorityScheduler",
     "ResultStore",
+    "SLOPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceJournal",
+    "ServiceTelemetry",
     "SweepServer",
     "SweepService",
     "TokenBucket",
     "default_socket_path",
     "replay_service_journal",
+    "stable_status",
     "wait_for_socket",
 ]

@@ -86,6 +86,9 @@ class AdmissionController:
         self._clock = clock
         self._global = TokenBucket(global_burst, global_per_s, clock=clock)
         self._tenants: dict[str, TokenBucket] = {}
+        #: optional MetricsRegistry; the service wires its telemetry
+        #: registry in so every decision lands in the metrics plane.
+        self.metrics = None
 
     def _tenant_bucket(self, tenant: str) -> TokenBucket:
         bucket = self._tenants.get(tenant)
@@ -98,6 +101,15 @@ class AdmissionController:
     def admit(self, tenant: str, queue_depth: int = 0,
               cost: float = 1.0) -> Decision:
         """Decide one submission; rejections carry an explicit reason."""
+        decision = self._decide(tenant, queue_depth, cost)
+        if self.metrics is not None:
+            outcome = "admitted" if decision.admitted else "rejected"
+            self.metrics.counter("admission_decisions_total",
+                                 outcome=outcome).inc()
+        return decision
+
+    def _decide(self, tenant: str, queue_depth: int,
+                cost: float) -> Decision:
         if queue_depth >= self.max_queue_depth:
             return Decision(False, f"queue full: depth {queue_depth} >= "
                                    f"limit {self.max_queue_depth}")

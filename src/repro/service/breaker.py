@@ -11,13 +11,16 @@ for another cooldown.
 State transitions are driven by the service loop calling
 :meth:`record_success` / :meth:`record_failure` per processed job, and
 by :meth:`allow` at submit/dispatch time.  The clock is injectable so
-chaos drills step time instead of sleeping.
+chaos drills step time instead of sleeping.  Every transition fires the
+optional ``on_transition(old, new)`` hook — the telemetry plane counts
+them (``breaker_transitions_total``), so a flapping breaker is visible
+in ``repro top`` rather than only in the moment's ``health`` snapshot.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
 
@@ -36,13 +39,27 @@ class CircuitBreaker:
         self._probe_outstanding = False
         #: total trips, for the health endpoint.
         self.trips = 0
+        #: observer called as ``on_transition(old_state, new_state)``;
+        #: a crashing observer must not take the breaker down with it.
+        self.on_transition: Optional[Callable[[str, str], None]] = None
+
+    def _set_state(self, new: str) -> None:
+        old = self._state
+        if old == new:
+            return
+        self._state = new
+        if self.on_transition is not None:
+            try:
+                self.on_transition(old, new)
+            except Exception:  # pragma: no cover - observer bug
+                pass
 
     @property
     def state(self) -> str:
         """Current state, promoting OPEN -> HALF_OPEN once cooled down."""
         if (self._state == OPEN
                 and self._clock() - self._opened_at >= self.cooldown_s):
-            self._state = HALF_OPEN
+            self._set_state(HALF_OPEN)
             self._probe_outstanding = False
         return self._state
 
@@ -60,7 +77,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self._consecutive_failures = 0
         self._probe_outstanding = False
-        self._state = CLOSED
+        self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         self._consecutive_failures += 1
@@ -72,7 +89,7 @@ class CircuitBreaker:
             self._trip()
 
     def _trip(self) -> None:
-        self._state = OPEN
+        self._set_state(OPEN)
         self._opened_at = self._clock()
         self._probe_outstanding = False
         self.trips += 1

@@ -14,16 +14,22 @@ service-level fault kinds the queue front end must survive:
 ``submission_flood``
     a burst far past the admission budget; every excess submission gets
     an explicit ``rejected`` response and a journal record, admitted +
-    rejected accounts for every request, admitted work completes —
-    *rejected* (visible load shedding is a safe outcome, silence is not);
+    rejected accounts for every request, admitted work completes, *and*
+    the telemetry plane notices: the flooding tenant's completion-rate
+    SLO breach is detected and journaled as a first-class
+    ``slo_breach`` event — *degraded* (visible, accounted degradation;
+    shedding without the SLO verdict would be merely *rejected*);
 ``worker_failure_storm``
     every run crashes until the circuit breaker trips; submissions are
-    refused while open, the half-open probe restores service —
-    *recovered*;
+    refused while open, the half-open probe restores service, and the
+    storm-hit tenant's SLO breach is journaled while the breaker cycle
+    is counted by the metrics plane — *degraded*;
 ``service_kill``
     a real ``repro serve`` subprocess SIGKILLed mid-sweep; a restarted
     service resumes the job with every journaled completion served from
-    the store, zero recomputation of finished work — *recovered*.
+    the store, zero recomputation of finished work, and the telemetry
+    counters (per-tenant submits, per-source completions) re-seeded
+    from the journal fold — *recovered*.
 
 Any other outcome is *silent* and fails the campaign.  All in-process
 stages run on injected :class:`StepClock` time, so their evidence
@@ -53,6 +59,7 @@ from repro.experiments.executor import (
 )
 from repro.faults.chaos import (
     CLEAN,
+    DEGRADED,
     DETECTED,
     RECOVERED,
     REJECTED,
@@ -66,6 +73,7 @@ from repro.metrics.counters import counters_to_dict
 from repro.service.admission import AdmissionController
 from repro.service.breaker import OPEN, CircuitBreaker
 from repro.service.core import SweepService
+from repro.service.jobs import replay_service_journal
 
 #: the service fault vocabulary; every kind is drilled by
 #: :func:`append_service_stages` and must classify as a safe outcome.
@@ -248,15 +256,31 @@ def append_service_stages(report: ChaosReport, *,
             and any("tenant rate limit" in r for r in reasons)
             and any("service rate limit" in r for r in reasons)
             and accounted and all(s == "done" for s in done))
+    # the telemetry plane must have *seen* the degradation: the flooding
+    # tenant's completion rate collapsed, and the breach is both live in
+    # the registry and durable in the journal.
+    verdicts = svc.telemetry.slo_verdicts()
+    mallory = verdicts.get("mallory", {})
+    breach_live = (svc.telemetry.breach_count() >= 1
+                   and mallory.get("ok") is False)
+    jstate = replay_service_journal(scratch / "flood" / "service.journal")
+    journaled = [b for b in (jstate.slo_breaches if jstate else [])
+                 if b["tenant"] == "mallory"
+                 and b["slo"] == "completion_rate"]
+    degraded = shed and breach_live and bool(journaled)
     report.stages.append(StageReport(
         name="service-flood", kind="submission_flood", target="",
-        classification=REJECTED if shed else SILENT,
+        classification=(DEGRADED if degraded
+                        else REJECTED if shed else SILENT),
         evidence=[
             f"{len(responses)} submissions: {len(admitted)} admitted, "
             f"{len(rejected)} rejected — accounted: {accounted}",
             f"rejection reasons: {sorted(reasons)}",
             f"admitted jobs all completed: "
-            f"{all(s == 'done' for s in done)}"]))
+            f"{all(s == 'done' for s in done)}",
+            f"mallory completion-rate SLO breached: {breach_live} "
+            f"(rate {mallory.get('completion_rate', {}).get('rate')})",
+            f"breach journaled as slo_breach event: {len(journaled)}"]))
 
     # -- worker failure storm: the breaker trips, probes, recovers --------
     note("stage worker-failure-storm")
@@ -287,9 +311,24 @@ def append_service_stages(report: ChaosReport, *,
     healed = (tripped and refused_openly and probe.get("ok")
               and probe_job is not None and probe_job.status == "done"
               and breaker.state == "closed" and recovered_resp.get("ok"))
+    # degradation must be on the record: alice's completion rate
+    # collapsed under the storm (journaled slo_breach), and the metrics
+    # plane counted the breaker's full closed→open→half-open→closed
+    # cycle.
+    reg = svc.telemetry.registry
+    trip_count = reg.counter_value("breaker_transitions_total",
+                                   **{"from": "closed", "to": "open"})
+    close_count = reg.counter_value("breaker_transitions_total",
+                                    **{"from": "half_open", "to": "closed"})
+    cycle_counted = trip_count == 1 and close_count == 1
+    jstate = replay_service_journal(scratch / "storm" / "service.journal")
+    journaled = [b for b in (jstate.slo_breaches if jstate else [])
+                 if b["tenant"] == "alice" and b["slo"] == "completion_rate"]
+    degraded = healed and cycle_counted and bool(journaled)
     report.stages.append(StageReport(
         name="service-breaker", kind="worker_failure_storm", target="",
-        classification=RECOVERED if healed else SILENT,
+        classification=(DEGRADED if degraded
+                        else RECOVERED if healed else SILENT),
         evidence=[
             f"breaker tripped after 2 failed jobs: {tripped}",
             f"open-state submission refused explicitly: "
@@ -298,7 +337,10 @@ def append_service_stages(report: ChaosReport, *,
             f"probe={probe_job.status if probe_job else 'rejected'}, "
             f"breaker={breaker.state}, "
             f"post-recovery submit admitted: "
-            f"{bool(recovered_resp.get('ok'))}"]))
+            f"{bool(recovered_resp.get('ok'))}",
+            f"metrics counted breaker cycle: {cycle_counted} "
+            f"(trips {trip_count:g}, closes {close_count:g})",
+            f"alice completion-rate breach journaled: {len(journaled)}"]))
 
     # -- service kill: SIGKILL a real server mid-sweep, then resume -------
     if include_kill:
@@ -362,12 +404,37 @@ def _kill_stage(plan: ExecutionPlan, expect: dict[str, str],
 
     # the restarted service: same state dir, journal + store intact.
     svc = SweepService(str(state))
+    # counters survive kill -9: the journal fold must have re-seeded the
+    # telemetry registry before any new work runs — the dead process's
+    # submit is already counted.
+    reg = svc.telemetry.registry
+
+    def _configs_counted() -> float:
+        return (
+            reg.counter_value("service_configs_done_total",
+                              source="computed")
+            + reg.counter_value("service_configs_done_total", source="store")
+            + reg.counter_value("service_configs_done_total", source="cache"))
+
+    seeded_submits = reg.counter_value("service_submits_total",
+                                       tenant="alice")
+    seeded_configs = _configs_counted()
     resumed = svc.process_next(wait_s=1.0)
     svc.close()
     job = svc._jobs.get(job_id)
+    # the journal fold seeds the dead process's completions; the resumed
+    # job then counts all of its configs again (store-served + recomputed),
+    # so the lifetime total is seeded + one full pass over the plan.
+    configs_counted = _configs_counted()
+    counters_survived = (seeded_submits == 1
+                         and seeded_configs >= pre_kill
+                         and configs_counted == seeded_configs + len(expect)
+                         and reg.counter_value("service_jobs_done_total",
+                                               tenant="alice") == 1)
     ok = (svc.resumed_jobs >= 1 and resumed == job_id
           and job is not None and job.status == "done"
           and job.from_store >= pre_kill
+          and counters_survived
           and _digests_match(svc, job_id, expect))
     evidence += [
         f"restart requeued {svc.resumed_jobs} in-flight job(s)",
@@ -375,6 +442,11 @@ def _kill_stage(plan: ExecutionPlan, expect: dict[str, str],
         f"store/cache, recomputed {job.recomputed if job else '?'} "
         f"(>= {pre_kill} journaled completions preserved: "
         f"{job.from_store >= pre_kill if job else False})",
+        f"telemetry counters survived the kill via journal replay: "
+        f"{counters_survived} (submits {seeded_submits:g}, "
+        f"seeded {seeded_configs:g} pre-kill completions, lifetime "
+        f"configs done {configs_counted:g}/"
+        f"{seeded_configs + len(expect):g})",
         f"all {len(expect)} digests match clean baseline: "
         f"{_digests_match(svc, job_id, expect)}"]
     return StageReport(name="service-kill", kind="service_kill",

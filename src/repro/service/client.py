@@ -12,11 +12,17 @@ from __future__ import annotations
 
 import json
 import os
+import secrets
 import socket
 import time
 from typing import Iterable, Iterator, Optional
 
 from repro.experiments.config import RunConfig
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id (hex), W3C-trace-context-sized."""
+    return secrets.token_hex(8)
 
 
 class ServiceError(RuntimeError):
@@ -66,12 +72,20 @@ class ServiceClient:
     # -- verbs -------------------------------------------------------------
 
     def submit(self, configs: Iterable[RunConfig] | RunConfig,
-               tenant: str = "default", priority: float = 0.0) -> dict:
+               tenant: str = "default", priority: float = 0.0,
+               trace: bool = False, trace_id: str = "") -> dict:
+        """Submit a sweep; ``trace=True`` stamps a fresh trace id (or
+        pass an explicit *trace_id* to join an existing trace) that the
+        service propagates through journal, workers, and store — the
+        response echoes it back for ``repro trace --job`` correlation."""
         if isinstance(configs, RunConfig):
             configs = [configs]
+        if trace and not trace_id:
+            trace_id = new_trace_id()
         return self._request("submit",
                              configs=[c.to_dict() for c in configs],
-                             tenant=tenant, priority=priority)
+                             tenant=tenant, priority=priority,
+                             trace_id=trace_id)
 
     def poll(self, job_id: str) -> dict:
         return self._request("poll", job_id=job_id)
@@ -84,6 +98,11 @@ class ServiceClient:
 
     def health(self) -> dict:
         return self._request("health")
+
+    def metrics(self) -> dict:
+        """The telemetry plane: registry snapshot + per-tenant SLO
+        verdicts (see :mod:`repro.service.telemetry`)."""
+        return self._request("metrics")
 
     def drain(self) -> dict:
         return self._request("drain")

@@ -52,7 +52,10 @@ from repro.experiments.executor import (
     execute_plan,
     simulate_to_dict,
 )
+from repro.obs import chrome
+from repro.obs.tracer import WALL, Tracer
 from repro.obs.tracer import active as _obs_active
+from repro.obs.tracer import use as _obs_use
 from repro.service.admission import AdmissionController, Decision
 from repro.service.breaker import CircuitBreaker
 from repro.service.jobs import (
@@ -66,12 +69,38 @@ from repro.service.jobs import (
 )
 from repro.service.scheduler import PriorityScheduler
 from repro.service.store import ResultStore
+from repro.service.telemetry import ServiceTelemetry, SLOPolicy
 
 
 def _event_dict(ev: RunEvent) -> dict:
     return {"kind": ev.kind, "key": ev.key, "attempt": ev.attempt,
             "wall_s": round(ev.wall_s, 6), "error": ev.error,
             "queued": ev.queued}
+
+
+class TracedJobWorker:
+    """Picklable worker wrapper opening one ``worker-execute`` span per
+    config on whatever tracer is ambient where the config actually runs.
+
+    In-process (``jobs=1``) that is the job's own tracer, installed by
+    :meth:`SweepService._process`; in a pool worker it is the fresh
+    tracer :class:`~repro.obs.workers.TracedWorker` installs, so the
+    span lands in the per-worker trace file and is merged back with a
+    remapped pid — either way the span carries the job's trace id and
+    the cross-process timeline stays one timeline.
+    """
+
+    def __init__(self, worker: Callable[[RunConfig], dict], trace_id: str):
+        self.worker = worker
+        self.trace_id = trace_id
+
+    def __call__(self, cfg: RunConfig) -> dict:
+        tracer = _obs_active()
+        if tracer is None:
+            return self.worker(cfg)
+        with tracer.span(f"worker-execute {cfg.key()}", cat="worker",
+                         trace=self.trace_id, key=cfg.key()):
+            return self.worker(cfg)
 
 
 class SweepService:
@@ -87,6 +116,8 @@ class SweepService:
                  admission: Optional[AdmissionController] = None,
                  breaker: Optional[CircuitBreaker] = None,
                  scheduler: Optional[PriorityScheduler] = None,
+                 telemetry: Optional[ServiceTelemetry] = None,
+                 slo: Optional[SLOPolicy] = None,
                  clock: Callable[[], float] = time.monotonic):
         self.state_dir = Path(state_dir)
         self.state_dir.mkdir(parents=True, exist_ok=True)
@@ -99,9 +130,15 @@ class SweepService:
         self.admission = admission or AdmissionController(clock=clock)
         self.breaker = breaker or CircuitBreaker(clock=clock)
         self.scheduler = scheduler or PriorityScheduler()
+        self.telemetry = telemetry or ServiceTelemetry(slo=slo)
         self.clock = clock
         self.cache_dir = self.state_dir / "cache"
-        self.store = ResultStore(self.state_dir / "store")
+        self.store = ResultStore(self.state_dir / "store",
+                                 metrics=self.telemetry.registry)
+        self.traces_dir = self.state_dir / "traces"
+        # every component publishes into the one telemetry registry.
+        self.admission.metrics = self.telemetry.registry
+        self.breaker.on_transition = self.telemetry.record_breaker_transition
 
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -119,19 +156,34 @@ class SweepService:
         self._journal = ServiceJournal(journal_path)
         self._journal.record("service_start", jobs=self.jobs_n)
         if state:
+            # counters survive kill -9: the journal fold re-seeds the
+            # metrics plane before any new work is accepted.
+            self.telemetry.seed(state)
             now = self.clock()
             for job in state.unfinished():
                 job.status = QUEUED
+                job.submitted_at = now
                 self.scheduler.push(job.job_id, job.priority, now)
                 self.resumed_jobs += 1
+        self.telemetry.set_queue_depth(len(self.scheduler))
 
     # -- submission --------------------------------------------------------
 
     def submit(self, configs: Iterable[RunConfig] | RunConfig,
-               tenant: str = "default", priority: float = 0.0) -> dict:
+               tenant: str = "default", priority: float = 0.0,
+               trace_id: str = "") -> dict:
         """Enqueue one sweep; returns ``{"ok": True, "job_id": ...}`` or
         an explicit ``{"ok": False, "rejected": reason}`` — a submission
-        is *never* silently dropped."""
+        is *never* silently dropped.
+
+        A non-empty *trace_id* (stamped by a traced
+        :meth:`~repro.service.client.ServiceClient.submit`) makes this a
+        **traced job**: the service opens a per-job tracer whose epoch is
+        the submission instant, stamps a ``client-submit`` marker, and
+        every later stage — queue wait, worker execution (in-process or
+        across the pool), store writes — lands on the same timeline,
+        exported to ``state_dir/traces/<job_id>.json`` at job terminal.
+        """
         if isinstance(configs, RunConfig):
             configs = [configs]
         configs = tuple(configs)
@@ -151,25 +203,43 @@ class SweepService:
             job_id = f"j{self._seq:05d}"
             self._seq += 1
             job = Job(job_id=job_id, tenant=tenant, priority=float(priority),
-                      configs=configs)
+                      configs=configs, trace_id=str(trace_id or ""))
+            job.submitted_at = self.clock()
+            if job.trace_id:
+                job.tracer = Tracer()
+                job.tracer.span_at("client-submit", cat="client",
+                                   t0=0.0, t1=0.0, domain=WALL,
+                                   trace=job.trace_id, job=job_id,
+                                   tenant=tenant)
             self._jobs[job_id] = job
             self._order.append(job_id)
             self._journal.record("submit", job_id=job_id, tenant=tenant,
                                  priority=float(priority),
+                                 trace_id=job.trace_id,
                                  configs=[c.to_dict() for c in configs])
             self.scheduler.push(job_id, float(priority), self.clock())
+            self.telemetry.record_submit(tenant)
+            self.telemetry.set_queue_depth(len(self.scheduler))
             tracer = _obs_active()
             if tracer is not None:
                 tracer.event("job submitted", cat="service", job=job_id,
                              tenant=tenant, configs=len(configs))
                 tracer.counter("service queue depth", len(self.scheduler))
             self._cond.notify_all()
-            return {"ok": True, "job_id": job_id,
+            resp = {"ok": True, "job_id": job_id,
                     "queued": len(self.scheduler)}
+            if job.trace_id:
+                resp["trace_id"] = job.trace_id
+            return resp
 
     def _reject(self, tenant: str, reason: str) -> dict:
         self.rejected_total += 1
         self._journal.record("rejected", tenant=tenant, reason=reason)
+        self.telemetry.record_reject(tenant, reason)
+        # a rejection can flip a tenant's completion-rate SLO: evaluate
+        # now so the breach is journaled while it is happening, not at
+        # the next dashboard poll.
+        self.telemetry.check_slos(self._journal.record)
         tracer = _obs_active()
         if tracer is not None:
             tracer.event("submission rejected", cat="service",
@@ -195,6 +265,13 @@ class SweepService:
             job.status = RUNNING
             self._running_job = job_id
             self._journal.record("job_start", job_id=job_id)
+            wait_s = max(0.0, self.clock() - job.submitted_at)
+            self.telemetry.record_queue_wait(job.tenant, wait_s)
+            self.telemetry.set_queue_depth(len(self.scheduler))
+            if job.tracer is not None:
+                job.tracer.span_at("queue-wait", cat="service",
+                                   t0=0.0, t1=wait_s, domain=WALL,
+                                   trace=job.trace_id, job=job_id)
         try:
             self._process(job)
         finally:
@@ -212,8 +289,27 @@ class SweepService:
                                else "done", "key": key, "source": source})
             self._journal.record("config_done", job_id=job.job_id, key=key,
                                  digest=digest, source=source)
+            self.telemetry.record_config_done(source)
 
     def _process(self, job: Job) -> None:
+        t_start = self.clock()
+        if job.tracer is not None:
+            # traced job: its own tracer becomes ambient, so the
+            # executor, machine, and pool workers all land on the job's
+            # timeline (a cross-process single trace).
+            with _obs_use(job.tracer):
+                self._process_spanned(job)
+        else:
+            self._process_spanned(job)
+        wall_s = max(0.0, self.clock() - t_start)
+        if job.status == DONE:
+            self.telemetry.record_job_done(job.tenant, wall_s)
+        elif job.status == FAILED:
+            self.telemetry.record_job_failed(job.tenant, wall_s)
+        self.telemetry.check_slos(self._journal.record)
+        self._export_job_trace(job)
+
+    def _process_spanned(self, job: Job) -> None:
         tracer = _obs_active()
         if tracer is None:
             self._process_inner(job, None)
@@ -221,6 +317,21 @@ class SweepService:
         with tracer.span("job", cat="service", job=job.job_id,
                          tenant=job.tenant):
             self._process_inner(job, tracer)
+
+    def _export_job_trace(self, job: Job) -> None:
+        """Write a traced job's merged timeline (Chrome format) to
+        ``state_dir/traces/<job_id>.json`` — what ``repro trace --job``
+        reads.  A failed export never fails the job."""
+        if job.tracer is None:
+            return
+        try:
+            self.traces_dir.mkdir(parents=True, exist_ok=True)
+            chrome.dump(job.tracer, self.traces_dir / f"{job.job_id}.json",
+                        include_wall=True,
+                        meta={"trace_id": job.trace_id, "job_id": job.job_id,
+                              "tenant": job.tenant})
+        except OSError:  # pragma: no cover - disk trouble
+            pass
 
     def _process_inner(self, job: Job, tracer) -> None:
         cfg_by_key = {cfg.key(): cfg for cfg in job.configs}
@@ -260,13 +371,24 @@ class SweepService:
         remaining = [cfg for key, cfg in cfg_by_key.items()
                      if key not in job.completed]
 
+        def store_write(key: str, payload: dict) -> str:
+            """Put + link one payload, on the job's timeline if traced."""
+            if job.tracer is not None:
+                with job.tracer.span(f"store-write {key}", cat="store",
+                                     trace=job.trace_id, key=key):
+                    digest = self.store.put(payload, trace_id=job.trace_id)
+                    self.store.link(key, digest)
+            else:
+                digest = self.store.put(payload)
+                self.store.link(key, digest)
+            return digest
+
         def on_event(ev: RunEvent) -> None:
             if ev.kind in ("done", "cache_hit"):
                 cfg = cfg_by_key.get(ev.key)
                 payload = self._cache_payload(cfg) if cfg is not None else None
                 if payload is not None:
-                    digest = self.store.put(payload)
-                    self.store.link(ev.key, digest)
+                    digest = store_write(ev.key, payload)
                     self._complete(job, ev.key, digest,
                                    "computed" if ev.kind == "done" else "cache")
                     return
@@ -275,13 +397,17 @@ class SweepService:
             if tracer is not None:
                 tracer.counter("service run queue", ev.queued)
 
+        worker = self.worker
+        if job.trace_id:
+            worker = TracedJobWorker(worker, job.trace_id)
+
         result = None
         if remaining:
             result = execute_plan(remaining, cache_dir=self.cache_dir,
                                   jobs=self.jobs_n, timeout_s=self.timeout_s,
                                   retries=self.retries,
                                   backoff_s=self.backoff_s,
-                                  validate=self.validate, worker=self.worker,
+                                  validate=self.validate, worker=worker,
                                   on_event=on_event)
 
         with self._lock:
@@ -294,13 +420,15 @@ class SweepService:
                 for key, run in result.runs.items():
                     if key not in job.completed:
                         payload = counters_to_dict(run)
-                        digest = self.store.put(payload)
+                        digest = self.store.put(payload,
+                                                trace_id=job.trace_id)
                         self.store.link(key, digest)
                         job.completed[key] = digest
                         job.sources[key] = "computed"
                         self._journal.record("config_done", job_id=job.job_id,
                                              key=key, digest=digest,
                                              source="computed")
+                        self.telemetry.record_config_done("computed")
             if job.failed:
                 job.status = FAILED
                 job.error = (f"{len(job.failed)} run(s) failed permanently; "
@@ -380,7 +508,29 @@ class SweepService:
                 "breaker": self.breaker.health(),
                 "admission": self.admission.health(),
                 "store": self.store.health(),
+                "slo_breaches": self.telemetry.breach_count(),
             }
+
+    def metrics(self) -> dict:
+        """The telemetry plane's wire payload: a deterministic key-sorted
+        registry snapshot plus per-tenant SLO verdicts.  Evaluating here
+        also journals any breach first seen at query time — a dashboard
+        poll that discovers degradation makes it durable."""
+        with self._lock:
+            journal = (self._journal.record
+                       if not self._journal.closed else None)
+            verdicts = self.telemetry.check_slos(journal)
+            return {
+                "ok": True,
+                "metrics": self.telemetry.registry.snapshot(),
+                "slo": verdicts,
+                "slo_policy": self.telemetry.slo.to_dict(),
+                "queue_depth": len(self.scheduler),
+            }
+
+    def trace_export_path(self, job_id: str) -> Path:
+        """Where a traced job's merged timeline lands on disk."""
+        return self.traces_dir / f"{job_id}.json"
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -18,13 +18,19 @@ killed at any instant resumes with zero completed results lost:
   the payload is durably in the result store, so the journal is never
   ahead of the data;
 * ``job_done`` / ``job_failed`` — terminal states;
+* ``slo_breach`` — a per-tenant SLO verdict flipped to breached (see
+  :mod:`repro.service.telemetry`); journaled so degradation episodes
+  are durable first-class events, not dashboard ephemera;
 * ``drain`` — graceful-shutdown request accepted.
 
 :func:`replay_service_journal` folds the file into the job table; jobs
 that were queued or running when the process died come back ``queued``
 with their ``completed`` maps intact — the service re-dispatches them
 and every already-completed config is served from the store, not
-recomputed.
+recomputed.  The fold also tallies per-tenant submit / reject /
+done / failed counts and per-source config completions, which is how
+the telemetry plane's counters survive ``kill -9``
+(:meth:`repro.service.telemetry.ServiceTelemetry.seed`).
 """
 
 from __future__ import annotations
@@ -61,6 +67,15 @@ class Job:
     #: in-memory RunEvent stream for poll/stream (not journaled; a
     #: restarted service starts this ring empty).
     events: list = field(default_factory=list)
+    #: trace context stamped by a traced ``submit`` (journaled, so a
+    #: resumed job keeps its correlation id across restarts).
+    trace_id: str = ""
+    #: service-clock instant the job entered the queue (re-stamped at
+    #: requeue on resume); queue-wait = dispatch time minus this.
+    submitted_at: float = 0.0
+    #: per-job tracer collecting the cross-process timeline of a traced
+    #: job (in-memory only; exported to state_dir/traces/ on terminal).
+    tracer: Optional[object] = field(default=None, repr=False)
 
     @property
     def total(self) -> int:
@@ -89,6 +104,7 @@ class Job:
             "failed": dict(self.failed),
             "error": self.error,
             "events": len(self.events),
+            "trace_id": self.trace_id,
         }
 
 
@@ -101,6 +117,16 @@ class ServiceState:
     order: list = field(default_factory=list)
     rejected: int = 0
     draining: bool = False
+    #: per-tenant tallies, folded from the journal so the telemetry
+    #: plane's counters survive restart (see ServiceTelemetry.seed).
+    tenant_submits: dict = field(default_factory=dict)
+    tenant_rejects: dict = field(default_factory=dict)
+    tenant_done: dict = field(default_factory=dict)
+    tenant_failed: dict = field(default_factory=dict)
+    #: config completions by provenance (computed / store / cache).
+    configs_done: dict = field(default_factory=dict)
+    #: journaled SLO breach records: {"tenant": ..., "slo": ...}.
+    slo_breaches: list = field(default_factory=list)
 
     def next_seq(self) -> int:
         best = 0
@@ -156,11 +182,17 @@ def replay_service_journal(path: str | os.PathLike) -> Optional[ServiceState]:
             job = Job(job_id=rec.get("job_id", ""),
                       tenant=rec.get("tenant", "default"),
                       priority=float(rec.get("priority", 0)),
-                      configs=configs)
+                      configs=configs,
+                      trace_id=str(rec.get("trace_id", "") or ""))
             state.jobs[job.job_id] = job
             state.order.append(job.job_id)
+            state.tenant_submits[job.tenant] = (
+                state.tenant_submits.get(job.tenant, 0) + 1)
         elif ev == "rejected":
             state.rejected += 1
+            tenant = rec.get("tenant", "default")
+            state.tenant_rejects[tenant] = (
+                state.tenant_rejects.get(tenant, 0) + 1)
         elif ev == "job_start":
             job = state.jobs.get(rec.get("job_id", ""))
             if job is not None:
@@ -169,17 +201,28 @@ def replay_service_journal(path: str | os.PathLike) -> Optional[ServiceState]:
             job = state.jobs.get(rec.get("job_id", ""))
             if job is not None and rec.get("key"):
                 job.completed[rec["key"]] = rec.get("digest", "")
-                job.sources[rec["key"]] = rec.get("source", "computed")
+                source = rec.get("source", "computed")
+                job.sources[rec["key"]] = source
+                state.configs_done[source] = (
+                    state.configs_done.get(source, 0) + 1)
         elif ev == "job_done":
             job = state.jobs.get(rec.get("job_id", ""))
             if job is not None:
                 job.status = DONE
+                state.tenant_done[job.tenant] = (
+                    state.tenant_done.get(job.tenant, 0) + 1)
         elif ev == "job_failed":
             job = state.jobs.get(rec.get("job_id", ""))
             if job is not None:
                 job.status = FAILED
                 job.error = rec.get("error", "")
                 job.failed.update(rec.get("failed", {}))
+                state.tenant_failed[job.tenant] = (
+                    state.tenant_failed.get(job.tenant, 0) + 1)
+        elif ev == "slo_breach":
+            state.slo_breaches.append({
+                "tenant": rec.get("tenant", "default"),
+                "slo": rec.get("slo", "")})
         elif ev == "drain":
             state.draining = True
         elif ev == "service_start":

@@ -9,14 +9,21 @@ except ``stream``, which keeps the connection open and receives one
 Requests (``op`` selects the verb)::
 
     {"op": "submit", "configs": [RunConfig.to_dict(), ...],
-     "tenant": "alice", "priority": 1}
+     "tenant": "alice", "priority": 1, "trace_id": "8f3a..."}
     {"op": "poll",   "job_id": "j00001"}
     {"op": "stream", "job_id": "j00001"}
     {"op": "jobs"}
     {"op": "fetch",  "job_id": "j00001"}
     {"op": "health"}
+    {"op": "metrics"}
     {"op": "drain"}
     {"op": "shutdown"}
+
+``trace_id`` on ``submit`` is optional trace context: the service stamps
+it through the journal, worker processes, and store payloads so the
+job's whole lifetime is one cross-process timeline (``repro trace
+--job``).  ``metrics`` returns the telemetry plane's deterministic
+registry snapshot plus per-tenant SLO verdicts.
 
 Responses always carry ``ok``; a rejected submission is
 ``{"ok": false, "rejected": reason}`` — the admission layer's explicit
@@ -112,7 +119,8 @@ class SweepServer:
             configs = _parse_configs(req.get("configs"))
             self._send(handler, svc.submit(
                 configs, tenant=str(req.get("tenant", "default")),
-                priority=float(req.get("priority", 0))))
+                priority=float(req.get("priority", 0)),
+                trace_id=str(req.get("trace_id", "") or "")))
         elif op == "poll":
             self._send(handler, svc.poll(str(req.get("job_id", ""))))
         elif op == "jobs":
@@ -121,6 +129,8 @@ class SweepServer:
             self._send(handler, svc.fetch(str(req.get("job_id", ""))))
         elif op == "health":
             self._send(handler, svc.health())
+        elif op == "metrics":
+            self._send(handler, svc.metrics())
         elif op == "stream":
             self._stream(handler, str(req.get("job_id", "")))
         elif op == "drain":

@@ -96,34 +96,50 @@ class ResultStore:
         root/links/<cfg_key>.json          {"key": ..., "digest": ...}
     """
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, metrics=None):
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.links = self.root / "links"
         self.stats = StoreStats()
+        #: optional MetricsRegistry mirroring ``stats`` into the
+        #: telemetry plane (``store_*_total`` counters).
+        self.metrics = metrics
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
 
     # -- object plane ------------------------------------------------------
 
     def object_path(self, digest: str) -> Path:
         return self.objects / digest[:SHARD_WIDTH] / f"{digest}.json"
 
-    def put(self, payload: dict) -> str:
+    def put(self, payload: dict, trace_id: str = "") -> str:
         """Store one counter payload; returns its content digest.
 
         The digest is computed over the counter body (``__*`` metadata
         keys excluded), so the same simulation result always lands on
         the same object regardless of verdict annotations.  An existing
         object is left untouched (``dedup_hits``).
+
+        A non-empty *trace_id* is stamped into the object as
+        ``__trace__`` — a ``__*`` key, so it never perturbs the digest:
+        the trace context from a traced ``submit`` travels all the way
+        into the durable result without forking the dedup plane.
         """
         digest = payload.get("__digest__") or payload_digest(payload)
         path = self.object_path(digest)
         if path.exists():
             self.stats.dedup_hits += 1
+            self._count("store_dedup_hits_total")
             return digest
         body = {k: v for k, v in payload.items() if not k.startswith("__")}
         body["__digest__"] = digest
+        if trace_id:
+            body["__trace__"] = trace_id
         _write_atomic(path, json.dumps(body, sort_keys=True))
         self.stats.puts += 1
+        self._count("store_puts_total")
         return digest
 
     def get(self, digest: str) -> Optional[dict]:
@@ -144,6 +160,7 @@ class ResultStore:
                 raise ValueError("store object content drifted")
         except (json.JSONDecodeError, TypeError, ValueError):
             self.stats.corrupt_discarded += 1
+            self._count("store_corrupt_objects_total")
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - best-effort cleanup
@@ -175,6 +192,7 @@ class ResultStore:
                 raise ValueError("empty digest")
         except (json.JSONDecodeError, TypeError, KeyError, ValueError):
             self.stats.corrupt_links += 1
+            self._count("store_corrupt_links_total")
             try:
                 self.link_path(cfg_key).unlink()
             except OSError:  # pragma: no cover - best-effort cleanup
@@ -191,6 +209,7 @@ class ResultStore:
         payload = self.get(digest)
         if payload is not None:
             self.stats.hits += 1
+            self._count("store_hits_total")
         return payload
 
     # -- accounting --------------------------------------------------------

@@ -60,7 +60,7 @@ def test_backends_satisfy_protocol():
 
 
 def test_package_exports():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"
     for name in ("BACKENDS", "ExecutionBackend", "get_backend", "Probe"):
         assert name in repro.__all__
         assert getattr(repro, name) is not None

@@ -1,0 +1,172 @@
+"""The metrics registry: determinism, lock safety, ambient gating."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    series_key,
+)
+
+
+def test_series_key_is_canonical():
+    assert series_key("x", {}) == "x"
+    assert series_key("x", {"b": 2, "a": 1}) == "x{a=1,b=2}"
+    # label order never matters: one series, one identity.
+    assert (series_key("x", {"a": 1, "b": 2})
+            == series_key("x", {"b": 2, "a": 1}))
+
+
+def test_counter_is_monotonic():
+    reg = MetricsRegistry()
+    c = reg.counter("hits", tenant="alice")
+    c.inc()
+    c.inc(2.5)
+    assert reg.counter_value("hits", tenant="alice") == 3.5
+    assert reg.counter_value("hits", tenant="bob") == 0.0  # absent = 0
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("queue_depth")
+    g.set(4)
+    g.inc()
+    g.dec(2)
+    assert reg.snapshot()["gauges"]["queue_depth"] == 3.0
+
+
+def test_histogram_buckets_and_quantiles():
+    h = Histogram(threading.Lock(), bounds=(1.0, 5.0, 10.0))
+    assert h.quantile(0.5) is None  # empty
+    for v in (0.1, 0.2, 3.0, 7.0):
+        h.observe(v)
+    assert h.counts == [2, 1, 1, 0]
+    # quantiles are bucket-upper-bound estimates, deterministic by
+    # construction.
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(0.95) == 10.0
+    h.observe(99.0)  # overflow bucket
+    assert h.quantile(1.0) == math.inf
+    d = h.to_dict()
+    assert d["count"] == 5
+    assert d["buckets"][-1] == ["+inf", 1]
+    with pytest.raises(ValueError):
+        h.observe(float("nan"))
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram(threading.Lock(), bounds=())
+    with pytest.raises(ValueError):
+        Histogram(threading.Lock(), bounds=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram(threading.Lock(), bounds=(1.0, 1.0))
+
+
+def test_registry_get_or_create_is_stable():
+    reg = MetricsRegistry()
+    assert reg.counter("a", t="x") is reg.counter("a", t="x")
+    assert reg.histogram("h") is reg.histogram("h", bounds=DEFAULT_BUCKETS)
+    # silently disagreeing bucket bounds is how dashboards lie: refuse.
+    with pytest.raises(ValueError):
+        reg.histogram("h", bounds=(1.0, 2.0))
+
+
+def test_snapshot_is_key_sorted_and_json_stable():
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("b_total", tenant="bob").inc()
+        reg.counter("a_total", tenant="alice").inc(2)
+        reg.gauge("depth").set(1)
+        reg.histogram("wait_s", bounds=(0.5, 2.0)).observe(0.1)
+        return json.dumps(reg.snapshot(), sort_keys=True)
+
+    one, two = build(), build()
+    assert one == two
+    snap = json.loads(one)
+    assert list(snap["counters"]) == sorted(snap["counters"])
+
+
+def test_snapshot_under_concurrent_writes_is_consistent():
+    reg = MetricsRegistry()
+    stop = threading.Event()
+
+    def hammer():
+        c = reg.counter("spins")
+        h = reg.histogram("lat", bounds=(1.0,))
+        while not stop.is_set():
+            c.inc()
+            h.observe(0.5)
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    try:
+        for _ in range(50):
+            snap = reg.snapshot()
+            hist = snap["histograms"].get("lat")
+            if hist is not None:
+                # a torn cut would let count drift from the bucket sum.
+                assert hist["count"] == sum(n for _, n in hist["buckets"])
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+
+
+def test_ambient_registry_defaults_to_disabled():
+    assert metrics.active() is None
+    reg = MetricsRegistry()
+    with metrics.use(reg):
+        assert metrics.active() is reg
+        inner = MetricsRegistry()
+        with metrics.use(inner):
+            assert metrics.active() is inner
+        assert metrics.active() is reg
+    assert metrics.active() is None
+
+
+def test_executor_publishes_into_ambient_registry(tmp_path):
+    from repro.experiments.config import RunConfig
+    from repro.experiments.executor import ExecutionPlan, execute_plan
+
+    plan = ExecutionPlan.from_configs(
+        [RunConfig(opt="vanilla", vector_size=16, mesh_dims=(4, 4, 4))])
+    reg = MetricsRegistry()
+    with metrics.use(reg):
+        res = execute_plan(plan, cache_dir=tmp_path, jobs=1)
+    assert not res.failed
+    assert reg.counter_value("executor_events_total", kind="done") == 1
+    assert reg.snapshot()["gauges"]["executor_queue_depth"] == 0.0
+
+
+def test_metrics_off_leaves_cache_payload_bytes_identical(tmp_path):
+    """The zero-cost guard, registry edition: with metrics (and tracing)
+    disabled the executor writes byte-for-byte the seed's artifacts, and
+    an *enabled* registry still never touches payload bytes."""
+    from repro.experiments.config import RunConfig
+    from repro.experiments.executor import ExecutionPlan, execute_plan
+
+    plan = ExecutionPlan.from_configs(
+        [RunConfig(opt="vanilla", vector_size=16, mesh_dims=(4, 4, 4)),
+         RunConfig(opt="vec1", vector_size=64, mesh_dims=(4, 4, 4))])
+    assert metrics.active() is None  # the default: disabled
+    bare = execute_plan(plan, cache_dir=tmp_path / "bare", jobs=1)
+    with metrics.use(MetricsRegistry()):
+        metered = execute_plan(plan, cache_dir=tmp_path / "metered", jobs=1)
+    assert not bare.failed and not metered.failed
+    bare_files = {p.name: p.read_bytes()
+                  for p in (tmp_path / "bare").rglob("*.json")}
+    metered_files = {p.name: p.read_bytes()
+                     for p in (tmp_path / "metered").rglob("*.json")}
+    assert bare_files == metered_files

@@ -79,6 +79,51 @@ def test_execute_plan_merges_worker_traces(tmp_path):
                for p in (tmp_path / "c").rglob("*.json"))
 
 
+def test_merged_export_deterministic_across_pid_assignments(tmp_path):
+    """Satellite: the Chrome export of a merged multi-process trace is
+    identical across two runs that got *different* OS pids — the pid
+    remap keys on config-key order, not pool scheduling luck."""
+    def run(name, pids):
+        d = tmp_path / name
+        d.mkdir()
+        for pid, key in zip(pids, ["keyA", "keyB", "keyC"]):
+            t = Tracer()
+            t.span_at(f"phase {key}", cat="phase", t0=0, t1=10, phase=1)
+            chrome.dump(t, d / f"worker-{pid}-{key}.json")
+        merged = Tracer()
+        assert merge_worker_traces(merged, d) == 3
+        return chrome.dumps(merged)
+
+    # same three runs, wildly different pid draws (and different
+    # pid-sort vs key-sort orders, which raw-filename sorting would mix).
+    one = run("one", [3101, 22, 407])
+    two = run("two", [9, 8881, 53])
+    assert one == two
+    pids = sorted({e["pid"] for e in json.loads(one)["traceEvents"]
+                   if isinstance(e.get("pid"), int)
+                   and e["pid"] >= WORKER_PID_BASE})
+    assert pids == [WORKER_PID_BASE, WORKER_PID_BASE + 1,
+                    WORKER_PID_BASE + 2]
+
+
+def test_service_worker_span_merge_is_deterministic(tmp_path):
+    """Two identical traced sweeps through the pool path produce the
+    same merged service+worker span ordering (pid-remapped, key-sorted)."""
+    plan = ExecutionPlan.from_configs([_cfg(16), _cfg(64), _cfg(128)])
+
+    def run(name):
+        tracer = Tracer()
+        with obs.use(tracer):
+            res = execute_plan(plan, cache_dir=tmp_path / name, jobs=2)
+        assert not res.failed
+        # project onto the schedule-independent shape: which span ran in
+        # which remapped process (wall timestamps/durations jitter).
+        return [(e["pid"], e["name"]) for e in tracer.raw_events
+                if e.get("ph") == "X" and e.get("name", "").startswith("run ")]
+
+    assert run("a") == run("b")
+
+
 def test_untraced_parallel_payloads_unchanged(tmp_path):
     """With no ambient tracer the pool path is byte-for-byte the seed's."""
     plan = ExecutionPlan.from_configs([_cfg(16), _cfg(64)])

@@ -65,6 +65,25 @@ def test_health_over_the_wire(server):
     assert "breaker" in health and "admission" in health
 
 
+def test_metrics_verb_over_the_wire(server):
+    client = client_for(server)
+    resp = client.submit(CONFIGS[:1], tenant="alice", trace=True)
+    assert resp["ok"] and len(resp["trace_id"]) == 16
+    client.wait(resp["job_id"], timeout_s=60.0)
+    out = client.metrics()
+    assert out["ok"]
+    assert out["metrics"]["counters"][
+        "service_submits_total{tenant=alice}"] == 1.0
+    assert out["slo"]["alice"]["ok"] is True
+    assert out["slo_policy"]["queue_wait_p95_s"] == 5.0
+    # the curated view is serializable and self-consistent.
+    from repro.service import stable_status
+
+    status = stable_status(client.health(), out)
+    assert status["jobs"] == {"done": 1}
+    assert json.loads(json.dumps(status)) == status
+
+
 def test_unknown_op_is_an_error_response(server):
     client = client_for(server)
     resp = client._request("frobnicate")

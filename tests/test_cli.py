@@ -130,6 +130,46 @@ def test_parser_accepts_service_commands():
     assert args.service_faults
 
 
+def test_parser_accepts_telemetry_commands():
+    args = build_parser().parse_args(["top", "--once", "--json"])
+    assert args.command == "top" and args.once and args.json
+    assert args.interval == 2.0
+    args = build_parser().parse_args(["submit", "--trace"])
+    assert args.trace
+    args = build_parser().parse_args(
+        ["trace", "--job", "j00001", "--state-dir", "svc"])
+    assert args.job == "j00001" and args.state_dir == "svc"
+
+
+def test_trace_job_without_export_exits_1(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    code = main(["trace", "--job", "j99999", "--state-dir", str(tmp_path)])
+    assert code == 1
+    assert "no trace for job j99999" in capsys.readouterr().err
+
+
+def test_trace_job_renders_exported_timeline(tmp_path, capsys):
+    from repro.experiments.config import RunConfig
+    from repro.service.core import SweepService
+
+    svc = SweepService(str(tmp_path / "svc"))
+    cfg = RunConfig(opt="vanilla", vector_size=16, mesh_dims=(4, 4, 4))
+    resp = svc.submit([cfg], tenant="alice", trace_id="cafe0123cafe0123")
+    svc.process_next()
+    svc.close()
+    code, out = run_cli(capsys, "trace", "--job", resp["job_id"],
+                        "--state-dir", str(tmp_path / "svc"))
+    assert code == 0
+    assert "trace cafe0123cafe0123" in out
+    # the single cross-process timeline, stage-ordered.
+    for span in ("client-submit", "queue-wait", "worker-execute",
+                 "store-write"):
+        assert span in out
+    assert out.index("client-submit") < out.index("queue-wait") \
+        < out.index("worker-execute") < out.index("store-write")
+    assert "all spans share trace id cafe0123cafe0123" in out
+
+
 def test_roofline_command(capsys):
     code, out = run_cli(capsys, "roofline", "--opt", "vec1", "--vs", "64")
     assert code == 0
@@ -178,6 +218,24 @@ def test_bench_smoke_writes_json_report(tmp_path, capsys, monkeypatch):
     assert len(payload["phase_cycles"]) == 3
     for phases in payload["phase_cycles"].values():
         assert set(phases) == {str(p) for p in range(1, 9)}
+
+
+def test_bench_appends_history_jsonl(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    for _ in range(2):
+        code, out = run_cli(capsys, "bench", "--mesh", "tiny",
+                            "--profile", "smoke", "-o", "bench.json")
+        assert code == 0
+        assert "history appended to" in out
+    lines = (tmp_path / "BENCH_history.jsonl").read_text().splitlines()
+    assert len(lines) == 2  # one line per run, appended not overwritten
+    for line in lines:
+        entry = json.loads(line)
+        assert entry["mesh"] == [4, 4, 4] and entry["profile"] == "smoke"
+        assert entry["timestamp"] and entry["host"] and entry["machine"]
+        assert entry["serial_s"] > 0 and entry["speedup"] is not None
 
 
 def test_bench_baseline_gate(tmp_path, capsys, monkeypatch):
