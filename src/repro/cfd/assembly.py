@@ -15,7 +15,12 @@
   solver substrate);
 * ``run_interpreted()`` executes the IR through the reference
   interpreter -- slow, used by the tests to pin IR semantics to the
-  NumPy reference on small meshes.
+  NumPy reference on small meshes;
+* ``build_solver()`` / ``solve()`` / ``run_timed_solve()`` extend the
+  cycle to the algebraic solver: the assembled operator (with the
+  semi-implicit diagonal shift) is lowered to the IR solver kernels
+  (:mod:`repro.cfd.solver_path`), so the full assemble+solve path runs
+  through the same compiler, backends, machine model and tracer.
 
 Optimization levels are cumulative, in paper order:
 ``scalar`` (vectorization disabled) -> ``vanilla`` (auto-vectorization)
@@ -119,6 +124,7 @@ class MiniApp:
         self.transform_remarks: list[TransformRemark] = result.transform_remarks
         self.remarks: list[VecRemark] = result.vec_remarks
         self.compiled: list[CompiledKernel] = result.compiled
+        self._solver = None  # lazily-built SolverWorkload
 
     # ------------------------------------------------------------------
 
@@ -213,3 +219,76 @@ class MiniApp:
         return AssembledSystem(pattern=self.pattern,
                                amatr=shared.data("amatr"),
                                rhsid=shared.data("rhsid"))
+
+    # -- the solver path -----------------------------------------------
+
+    def build_solver(self):
+        """Assemble (NumPy reference semantics), shift the diagonal, and
+        compile the solver kernels for this configuration.
+
+        Returns ``(workload, b)``: the
+        :class:`~repro.cfd.solver_path.SolverWorkload` over the shifted
+        operator, and the x-momentum RHS it solves against.  Cached:
+        the system is a pure function of (mesh, field_seed), and the
+        kernels of (vector_size, pipeline, flags).
+        """
+        from repro.cfd.solver_path import SolverWorkload, shift_diagonal
+
+        if self._solver is None:
+            system = self.run_numeric()
+            shifted = shift_diagonal(self.pattern, system.amatr)
+            workload = SolverWorkload(
+                self.pattern, shifted, self.vector_size, opt=self.opt,
+                flags=self.flags, pipeline=self.pipeline)
+            self._solver = (workload, system.rhsid[:, 0].copy())
+        return self._solver
+
+    def solve(self, method: str = "bicgstab", *, backend: str | None = None,
+              tol: float | None = None, maxiter: int | None = None):
+        """IR-orchestrated Krylov solve of the assembled shifted system
+        (every vector op through the solver kernels on *backend*)."""
+        from repro.cfd.solver_path import SOLVE_MAXITER, SOLVE_TOL
+
+        workload, b = self.build_solver()
+        return workload.ir_solve(b, method=method, backend=backend,
+                                 tol=SOLVE_TOL if tol is None else tol,
+                                 maxiter=SOLVE_MAXITER if maxiter is None else maxiter)
+
+    def reference_solve(self, method: str = "bicgstab", *,
+                        tol: float | None = None,
+                        maxiter: int | None = None):
+        """NumPy reference Krylov solve of the same shifted system."""
+        from repro.cfd.solver_path import SOLVE_MAXITER, SOLVE_TOL
+
+        workload, b = self.build_solver()
+        return workload.reference_solve(
+            b, method=method,
+            tol=SOLVE_TOL if tol is None else tol,
+            maxiter=SOLVE_MAXITER if maxiter is None else maxiter)
+
+    def run_timed_solve(self, machine_params: MachineParams, *,
+                        cache_enabled: bool = True,
+                        machine: Optional[Machine] = None,
+                        method: str = "bicgstab"
+                        ) -> tuple[RunCounters, dict]:
+        """Time the full assemble+solve cycle on one machine model.
+
+        The assembly sweep charges phases 1-8 as in :meth:`run_timed`;
+        the solver kernels then charge phases 9-12, one representative
+        iteration per iteration of the (backend-independent) NumPy
+        reference solve.  Returns the counters plus the convergence
+        record ``{"method", "iterations", "residual", "converged"}``.
+        """
+        m = machine or Machine(machine_params, cache_enabled=cache_enabled)
+        run = self.run_timed(machine_params, cache_enabled=cache_enabled,
+                             machine=m)
+        workload, _ = self.build_solver()
+        ref = self.reference_solve(method)
+        workload.run_timed(m, run, iterations=max(ref.iterations, 1))
+        info = {
+            "method": method,
+            "iterations": int(ref.iterations),
+            "residual": float(ref.residual),
+            "converged": bool(ref.converged),
+        }
+        return run, info

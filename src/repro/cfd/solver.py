@@ -55,6 +55,11 @@ def cg(pattern: CSRPattern, data: np.ndarray, b: np.ndarray,
     history = [float(np.linalg.norm(r)) / bnorm]
     if history[-1] < tol:
         return SolveResult(x, 0, history[-1], True, history)
+    # breakdown guard: rz = 0 with a nonzero residual means the
+    # preconditioned residual is A-orthogonal to itself (indefinite M or
+    # exact cancellation); alpha and beta would divide by zero.
+    if rz == 0.0:
+        return SolveResult(x, 0, history[-1], False, history)
     for it in range(1, maxiter + 1):
         Ap = spmv(pattern, data, p)
         pAp = float(p @ Ap)
@@ -69,6 +74,8 @@ def cg(pattern: CSRPattern, data: np.ndarray, b: np.ndarray,
             return SolveResult(x, it, res, True, history)
         z = M(r)
         rz_new = float(r @ z)
+        if rz_new == 0.0:
+            return SolveResult(x, it, res, False, history)
         p = z + (rz_new / rz) * p
         rz = rz_new
     return SolveResult(x, maxiter, history[-1], False, history)

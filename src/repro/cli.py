@@ -128,7 +128,8 @@ def _run_config(args) -> RunConfig:
     return RunConfig.from_kwargs(mesh=args.mesh, machine=args.machine,
                                  opt=args.opt, vs=args.vs,
                                  field_seed=getattr(args, "seed", 0),
-                                 backend=getattr(args, "backend", "numpy"))
+                                 backend=getattr(args, "backend", "numpy"),
+                                 solve=getattr(args, "solve", False))
 
 
 def _jobs(args) -> int:
@@ -258,6 +259,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "propagates it through journal, workers, and "
                         "store, and exports the job's cross-process "
                         "timeline for 'repro trace --job'")
+    p.add_argument("--solve", action="store_true",
+                   help="time the full assemble+solve cycle: the run "
+                        "adds the Krylov solver kernels (phases 9-12) "
+                        "and a __solve__ convergence record to the "
+                        "payload")
     _add_common(p)
 
     p = sub.add_parser("jobs", help="inspect a running sweep service")
@@ -335,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mesh preset shorthand; overrides --mesh")
     p.add_argument("--seed", type=int, default=0,
                    help="field seed for the traced run (default 0)")
+    p.add_argument("--solve", action="store_true",
+                   help="trace the full assemble+solve cycle: the "
+                        "Krylov solver kernels (phases 9-12) run as "
+                        "timed SIM spans after assembly")
     p.add_argument("-o", "--output", default="miniapp.prv",
                    help="Paraver trace path (.pcf/.row written alongside)")
     p.add_argument("--out", default=None, metavar="PATH",
@@ -712,11 +722,15 @@ def _cmd_trace(args) -> int:
     if args.preset:
         args.mesh = args.preset
     tracer = obs.Tracer()
+    solve_info = None
     # build the app *inside* the tracer context so the transformation
     # pass spans/remarks land in the trace alongside the run.
     with obs.use(tracer):
         app = _make_app(args)
-        app.run_timed(get_machine(args.machine))
+        if getattr(args, "solve", False):
+            _, solve_info = app.run_timed_solve(get_machine(args.machine))
+        else:
+            app.run_timed(get_machine(args.machine))
     paraver.dump(tracer, args.output, with_config=True)
     written = [str(args.output)]
     if args.out:
@@ -742,6 +756,11 @@ def _cmd_trace(args) -> int:
         rows.append([str(p), f"{s.cycles:,.0f}", f"{s.vector_instrs:,.0f}",
                      f"{s.avl:.0f}"])
     print(report.format_table(rows))
+    if solve_info:
+        print(f"\nsolver: {solve_info['method']} "
+              f"converged={solve_info['converged']} "
+              f"iterations={solve_info['iterations']} "
+              f"final relative residual={solve_info['residual']:.3e}")
     print()
     print(render.render_timeline(tracer))
     hist = tracer.vl_histogram()
@@ -853,7 +872,17 @@ def _cmd_jobs(args) -> int:
         if not resp.get("ok"):
             print(resp.get("error"), file=sys.stderr, flush=True)
             return 1
-        print(json.dumps(resp["results"], indent=2, sort_keys=True))
+        results = resp["results"]
+        print(json.dumps(results, indent=2, sort_keys=True))
+        # solver convergence digest (stderr: stdout stays pipeable JSON)
+        for key in sorted(results):
+            info = (results[key] or {}).get("__solve__")
+            if info:
+                print(f"{key}: solver {info.get('method')} "
+                      f"converged={info.get('converged')} "
+                      f"iterations={info.get('iterations')} "
+                      f"residual={info.get('residual'):.3e}",
+                      file=sys.stderr, flush=True)
         return 0
     if args.job:
         resp = client.poll(args.job)

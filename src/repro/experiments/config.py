@@ -112,6 +112,12 @@ class RunConfig:
     #: config (golden checks, digest ladders, chaos drills); the timing
     #: model is backend-independent.  See ``repro.backends.BACKENDS``.
     backend: str = "numpy"
+    #: time the full assemble+solve cycle: after the assembly sweep the
+    #: Krylov solver kernels (SpMV / dot / axpy / Jacobi apply, phases
+    #: 9-12) run through the same machine model, and the payload carries
+    #: a ``__solve__`` convergence record (iterations, residual,
+    #: converged).  Off by default so existing keys/caches stay stable.
+    solve: bool = False
 
     @classmethod
     def from_kwargs(cls, mesh: MeshSpec | None = None, **kwargs) -> "RunConfig":
@@ -129,7 +135,7 @@ class RunConfig:
         if kwargs.get("passes") is not None:
             kwargs["passes"] = tuple(kwargs["passes"])
         known = {"machine", "opt", "vector_size", "cache_enabled",
-                 "field_seed", "passes", "backend"}
+                 "field_seed", "passes", "backend", "solve"}
         unknown = set(kwargs) - known
         if unknown:
             raise TypeError(f"unknown RunConfig argument(s): {sorted(unknown)}")
@@ -151,6 +157,8 @@ class RunConfig:
         }
         if self.passes is not None:
             out["passes"] = list(self.passes)
+        if self.solve:
+            out["solve"] = True
         return out
 
     @classmethod
@@ -176,4 +184,8 @@ class RunConfig:
             # artifacts (digest files) are keyed per config; keep the
             # default spelling stable for existing caches/baselines.
             key += f"-be[{self.backend}]"
+        if self.solve:
+            # suffix only when set, so assembly-only keys (and every
+            # existing cache entry / bench baseline) are unchanged.
+            key += "-solve"
         return key

@@ -69,7 +69,7 @@ from repro.obs.tracer import active as _obs_active
 
 #: bump when the timing model OR the cache payload schema changes so
 #: stale disk caches are ignored (see EXPERIMENTS.md, "cache versioning").
-MODEL_VERSION = "5"
+MODEL_VERSION = "6"
 
 #: optimization ladder rungs exercised by the standard sweep (paper order).
 _SWEEP_OPTS: tuple[str, ...] = ("vanilla", "vec2", "ivec2", "vec1")
@@ -116,16 +116,23 @@ class ExecutionPlan:
                 for vs in VECTOR_SIZES:
                     configs.append(RunConfig(machine=machine, opt=opt,
                                              vector_size=vs, mesh_dims=dims))
+        # one end-to-end assemble+solve run (phases 1-12) per sweep.
+        configs.append(RunConfig(opt="vanilla", vector_size=240,
+                                 mesh_dims=dims, solve=True))
         return cls.from_configs(configs)
 
     @classmethod
     def smoke(cls, mesh: MeshSpec | None = None) -> "ExecutionPlan":
-        """A three-run plan for quick benchmarking / CI smoke tests."""
+        """A four-run plan for quick benchmarking / CI smoke tests:
+        the historic three assembly runs plus one assemble+solve run
+        (phases 1-12, its own ``-solve`` key)."""
         dims = resolve_mesh(mesh)
         return cls.from_configs([
             RunConfig(opt="scalar", vector_size=16, mesh_dims=dims),
             RunConfig(opt="vanilla", vector_size=16, mesh_dims=dims),
             RunConfig(opt="vanilla", vector_size=64, mesh_dims=dims),
+            RunConfig(opt="vanilla", vector_size=16, mesh_dims=dims,
+                      solve=True),
         ])
 
     @classmethod
@@ -363,20 +370,45 @@ def build_miniapp(cfg: RunConfig):
                    field_seed=cfg.field_seed, passes=cfg.passes)
 
 
-def simulate_run(cfg: RunConfig) -> RunCounters:
-    """Simulate one configuration from scratch (no caches involved)."""
+def simulate_run_with_solve(cfg: RunConfig) -> "tuple[RunCounters, dict | None]":
+    """Simulate one configuration from scratch (no caches involved).
+
+    Returns ``(counters, solve_info)``: with ``cfg.solve`` the machine
+    also times the Krylov solver kernels (phases 9-12) after the
+    assembly sweep and ``solve_info`` carries the convergence record;
+    otherwise ``solve_info`` is ``None``.
+    """
     from repro.machine.cpu import Machine
     from repro.machine.machines import get_machine
 
     app = build_miniapp(cfg)
     params = get_machine(cfg.machine)
     machine = Machine(params, cache_enabled=cfg.cache_enabled)
-    return app.run_timed(params, machine=machine)
+    if cfg.solve:
+        return app.run_timed_solve(params, machine=machine)
+    return app.run_timed(params, machine=machine), None
+
+
+def simulate_run(cfg: RunConfig) -> RunCounters:
+    """Simulate one configuration from scratch (no caches involved)."""
+    run, _ = simulate_run_with_solve(cfg)
+    return run
 
 
 def simulate_to_dict(cfg: RunConfig) -> dict:
-    """Pool worker: simulate and return plain data (cheap to pickle)."""
-    return counters_to_dict(simulate_run(cfg))
+    """Pool worker: simulate and return plain data (cheap to pickle).
+
+    ``solve=True`` payloads carry the convergence record under the
+    reserved ``"__solve__"`` key -- skipped by ``counters_from_dict``
+    and excluded from ``payload_digest``, so counter parsing and cache
+    digests are unchanged, while ``repro jobs --results`` / ``repro
+    report`` can surface iterations, residual and the converged flag.
+    """
+    run, info = simulate_run_with_solve(cfg)
+    payload = counters_to_dict(run)
+    if info is not None:
+        payload["__solve__"] = info
+    return payload
 
 
 #: worker callable signature: RunConfig -> counter dict.

@@ -87,6 +87,44 @@ def vl_histogram_section(session: Session, machine: str = "riscv_vec",
     return "\n".join(lines)
 
 
+def solver_convergence_section(session: Session, machine: str = "riscv_vec",
+                               opt: str = "vanilla",
+                               vector_size: int = 240) -> str:
+    """The timed Krylov path: per-solver-kernel cycles + convergence.
+
+    The cycle rows come from the ``solve=True`` run the standard plan
+    already pre-warmed (phases 9-12 of the assemble+solve cycle); the
+    convergence lines re-run the cheap NumPy reference solve, which is
+    the same backend-independent solve whose iteration count priced the
+    timed path.
+    """
+    from repro.cfd.solver_phases import SOLVER_PHASE_NAMES
+    from repro.experiments.config import RunConfig
+    from repro.experiments.executor import build_miniapp
+
+    cfg = RunConfig(machine=machine, opt=opt, vector_size=vector_size,
+                    mesh_dims=session.mesh_dims, solve=True,
+                    backend=session.backend)
+    run = session.run(cfg)
+    total = sum(run.phases[p].cycles_total for p in run.phase_ids())
+    rows = [["phase", "solver kernel", "cycles", "% of assemble+solve"]]
+    for pid in sorted(SOLVER_PHASE_NAMES):
+        if pid not in run.phases:
+            continue
+        pc = run.phases[pid]
+        rows.append([str(pid), SOLVER_PHASE_NAMES[pid],
+                     f"{pc.cycles_total:,.0f}",
+                     f"{100 * pc.cycles_total / total:.1f}%"])
+    lines = [R.format_table(rows), ""]
+    app = build_miniapp(cfg)
+    for method in ("cg", "bicgstab"):
+        res = app.reference_solve(method)
+        lines.append(f"{method:9s} converged={res.converged} "
+                     f"iterations={res.iterations} "
+                     f"final relative residual={res.residual:.3e}")
+    return "\n".join(lines)
+
+
 def evaluation_report(session: Session) -> str:
     """The complete evaluation section as one text document.
 
@@ -114,6 +152,11 @@ def evaluation_report(session: Session) -> str:
     lines.append("Observability: AVL distribution per phase (vec1, vs 240)")
     lines.append("=" * 72)
     lines.append(vl_histogram_section(session))
+    lines.append("")
+    lines.append("=" * 72)
+    lines.append("Solver: the timed Krylov path (phases 9-12, vanilla, vs 240)")
+    lines.append("=" * 72)
+    lines.append(solver_convergence_section(session))
     lines.append("")
     # headline summary
     f11 = F.figure11(session)

@@ -20,7 +20,12 @@ the :class:`~repro.faults.plan.FaultPlan`, and classifies the outcome:
 Alongside the sweep stages, targeted drills corrupt in-memory state
 directly (emulator vector registers, cache accounting, a phase array
 between kernel and golden reference) to exercise the validators the
-sweep path cannot reach.  With ``pass_faults=True`` the campaign also
+sweep path cannot reach.  Two always-on solver drills
+(:data:`~repro.faults.plan.SOLVER_FAULT_KINDS`) put the Krylov path
+under fire: a seeded zeroed operator row that the solver must refuse to
+call converged (with breakdown guards keeping the residual history
+finite), and a seeded torn ELL-gather slot — FLOP-conserving, so only
+the solver phase-output digests and the solver golden check can pin it.  With ``pass_faults=True`` the campaign also
 arms the *compiler-model* faults: one sweep per
 :data:`~repro.faults.plan.PASS_FAULT_KINDS`, where a
 :class:`~repro.faults.injector.PassFaultyWorker` simulates the seeded
@@ -61,7 +66,7 @@ from repro.faults.injector import (
     inject_cache_miss_drift,
     inject_vreg_nan,
 )
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.metrics.counters import counters_to_dict
 
 #: stage classifications, best to worst.  ``rejected`` is the service
@@ -206,6 +211,7 @@ def run_chaos_campaign(seed: int = 0,
     pplan = (FaultPlan.generate_pass_faults(seed, plan.configs)
              if pass_faults else None)
     report = ChaosReport(seed=seed, mesh_dims=dims, plan_size=len(plan))
+    solver_specs: list[FaultSpec] = []
 
     def note(msg: str) -> None:
         if verbose:
@@ -466,6 +472,86 @@ def run_chaos_campaign(seed: int = 0,
             classification=DETECTED if cache_viol else SILENT,
             evidence=cache_viol[:3]))
 
+        # -- solver drills: the Krylov path (phases 9-12) under fire ------
+        from repro.cfd.solver_path import SOLVE_TOL, SolverWorkload
+        from repro.cfd.solver_phases import SPMV_PHASE
+        from repro.faults.injector import (
+            inject_nonconverging_krylov,
+            inject_torn_spmv_gather,
+        )
+        from repro.validation.digests import solver_phase_digests
+        from repro.validation.golden import solver_golden_check
+
+        sprobe = Probe(backend=backend)
+        sapp = sprobe.build_app()
+        honest_workload, rhs = sapp.build_solver()
+
+        # nonconverging_krylov: a seeded row of the shifted operator is
+        # zeroed — a singular, inconsistent system no Krylov method can
+        # solve.  The solver must stall and *report* it: converged=False
+        # with every residual finite (the Jacobi zero-diagonal guard and
+        # the breakdown guards are exactly what keeps NaN/Inf out).
+        note("stage solver-nonconverging")
+        bad_amatr, victim_row = inject_nonconverging_krylov(
+            sapp.pattern, honest_workload.amatr, seed)
+        sick = SolverWorkload(sapp.pattern, bad_amatr, sapp.vector_size,
+                              opt=sapp.opt, flags=sapp.flags,
+                              pipeline=sapp.pipeline)
+        stall = sick.reference_solve(rhs, method="bicgstab")
+        finite = (all(np.isfinite(v) for v in stall.history)
+                  and np.isfinite(stall.residual))
+        surfaced = not stall.converged
+        report.stages.append(StageReport(
+            name="solver-nonconverging", kind="nonconverging_krylov",
+            target=f"row {victim_row}",
+            classification=DETECTED if (surfaced and finite) else SILENT,
+            evidence=[
+                f"converged=False surfaced: {surfaced} after "
+                f"{stall.iterations} iteration(s)",
+                f"relative residual stalled at {stall.residual:.3e} "
+                f"(tol {SOLVE_TOL:g})",
+                f"breakdown guards kept the history finite: {finite}",
+            ]))
+        solver_specs.append(FaultSpec(kind="nonconverging_krylov",
+                                      target_key=f"row {victim_row}"))
+
+        # torn_spmv_gather: one populated slot of the ELL gather table
+        # re-pointed at the wrong column.  FLOP- and VL-conserving by
+        # construction, so counters stay green — the solver phase-output
+        # digests must diverge at the SpMV phase and the solver golden
+        # check must fail on the same workload.
+        note("stage solver-torn-gather")
+        honest_digests = solver_phase_digests(sprobe)
+        torn = SolverWorkload(sapp.pattern, honest_workload.amatr,
+                              sapp.vector_size, opt=sapp.opt,
+                              flags=sapp.flags, pipeline=sapp.pipeline)
+        slot, row, old_col, new_col = inject_torn_spmv_gather(
+            torn.context.ellval, torn.context.ellcol,
+            torn.context.sizes.nrow, seed)
+        torn_digests = solver_phase_digests(sprobe, workload=torn)
+        diverged = sorted(p for p in honest_digests
+                          if torn_digests.get(p) != honest_digests[p])
+        pinned = diverged == [SPMV_PHASE]
+        g_torn = solver_golden_check(sprobe, workload=torn)
+        target = f"ellcol[{slot},{row}] {old_col}->{new_col}"
+        report.stages.append(StageReport(
+            name="solver-torn-gather", kind="torn_spmv_gather",
+            target=target,
+            classification=(DETECTED if (pinned and not g_torn.ok)
+                            else SILENT),
+            evidence=[
+                f"digests diverged at phase(s) {diverged}, pinned to "
+                f"SpMV alone: {pinned}",
+                f"solver golden check: {len(g_torn.violations)} "
+                f"violation(s)"
+                + (f", first: {g_torn.violations[0]}"
+                   if g_torn.violations else ""),
+                "FLOP/VL-conserving fault: counter invariants blind by "
+                "construction, digest ladder is the detector",
+            ]))
+        solver_specs.append(FaultSpec(kind="torn_spmv_gather",
+                                      target_key=target))
+
         # -- service drills: the supervised sweep service under fire ------
         if service_faults:
             from repro.service.chaos import append_service_stages
@@ -484,6 +570,8 @@ def run_chaos_campaign(seed: int = 0,
         plan_dict = fplan.to_dict()
         if pplan is not None:
             plan_dict["pass_specs"] = [s.to_dict() for s in pplan.specs]
+        if solver_specs:
+            plan_dict["solver_specs"] = [s.to_dict() for s in solver_specs]
         (out / "fault-plan.json").write_text(
             json.dumps(plan_dict, indent=2, sort_keys=True) + "\n")
     return report

@@ -20,6 +20,7 @@ Two layers live here:
 from __future__ import annotations
 
 import os
+import random
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -205,6 +206,76 @@ def pass_fault_mutator(kind: str) -> Callable[[list], list]:
         raise NotImplementedError(
             f"pass fault kind {kind!r} has no injector; implemented: "
             f"{sorted(PASS_FAULT_MUTATORS)}") from None
+
+
+# ---------------------------------------------------------------------------
+# Solver-path fault injectors
+# ---------------------------------------------------------------------------
+
+
+def inject_nonconverging_krylov(pattern, amatr: np.ndarray,
+                                seed: int) -> tuple[np.ndarray, int]:
+    """Zero one seeded row of the (shifted) operator.
+
+    The result is a singular — and, against a generic RHS, inconsistent
+    — system: no Krylov method can drive the residual below the floor,
+    so an honest solver must stall to ``maxiter`` (or break down) and
+    **say so** via ``converged=False``, with the Jacobi zero-diagonal
+    guard and the breakdown guards keeping every history entry finite.
+    Returns ``(tampered_copy, victim_row)``; pure function of ``seed``.
+    """
+    rng = random.Random(seed)
+    row = rng.randrange(pattern.n)
+    bad = np.array(amatr, dtype=np.float64, copy=True)
+    bad[pattern.row_of_entry() == row] = 0.0
+    return bad, row
+
+
+def inject_torn_spmv_gather(ellval: np.ndarray, ellcol: np.ndarray,
+                            nrow: int, seed: int) -> tuple[int, int, int, int]:
+    """Re-point one seeded *populated* slot of the ELL gather table at
+    the wrong column, in place (a torn index load in the SpMV gather).
+
+    Only slots with a nonzero coefficient are candidates — tearing a
+    zero-padding slot would multiply the mis-gathered value by 0.0 and
+    change nothing.  The fault conserves FLOPs and vector lengths by
+    construction (same loop trip counts, same arithmetic, wrong
+    address), so counter invariants are blind to it; detection rests on
+    the solver phase-output digests diverging at the SpMV phase.
+    Returns ``(slot, row, old_col, new_col)``; pure function of
+    ``(ellval pattern, seed)``.
+    """
+    rng = random.Random(seed)
+    slots, rows = np.nonzero(ellval[:, :nrow])
+    if len(slots) == 0:
+        raise ValueError("cannot tear an all-zero gather table")
+    pick = rng.randrange(len(slots))
+    slot, row = int(slots[pick]), int(rows[pick])
+    old = int(ellcol[slot, row])
+    new = (old + 1 + rng.randrange(max(nrow - 1, 1))) % max(nrow, 2)
+    ellcol[slot, row] = new
+    return slot, row, old, new
+
+
+#: every implemented solver-fault kind -> its injector (the solver twin
+#: of :data:`PASS_FAULT_MUTATORS`): the chaos campaign iterates
+#: :data:`repro.faults.plan.SOLVER_FAULT_KINDS` and resolves each kind
+#: here, so a kind in the vocabulary without an injector fails loudly.
+SOLVER_FAULT_INJECTORS: dict[str, Callable] = {
+    "nonconverging_krylov": inject_nonconverging_krylov,
+    "torn_spmv_gather": inject_torn_spmv_gather,
+}
+
+
+def solver_fault_injector(kind: str) -> Callable:
+    """The injector implementing one solver-fault kind; raises
+    ``NotImplementedError`` for a listed-but-unimplemented kind."""
+    try:
+        return SOLVER_FAULT_INJECTORS[kind]
+    except KeyError:
+        raise NotImplementedError(
+            f"solver fault kind {kind!r} has no injector; implemented: "
+            f"{sorted(SOLVER_FAULT_INJECTORS)}") from None
 
 
 # ---------------------------------------------------------------------------

@@ -14,7 +14,9 @@ from repro.obs.tracer import Tracer
 from repro.trace.analysis import timeline
 
 #: glyph per phase id for the timeline strip.
-_PHASE_GLYPHS = "·12345678"
+# assembly phases 1-8 render as digits; solver phases 9-12
+# (spmv, dot, axpy, precond) as s/d/a/p.
+_PHASE_GLYPHS = "·12345678sdap"
 
 
 def render_timeline(tracer: Tracer, buckets: int = 64) -> str:
@@ -28,7 +30,8 @@ def render_timeline(tracer: Tracer, buckets: int = 64) -> str:
     total = tracer.total_cycles()
     return (f"phase timeline ({total:,.0f} cycles, {len(tl)} buckets)\n"
             f"  |{strip}|\n"
-            f"  legend: digit = dominant phase in that time slice")
+            f"  legend: glyph = dominant phase in that time slice "
+            f"(1-8 assembly, s/d/a/p = solver spmv/dot/axpy/precond)")
 
 
 def mod40_fraction(hist: Mapping[int, float]) -> float:

@@ -125,7 +125,9 @@ class ResultStore:
         A non-empty *trace_id* is stamped into the object as
         ``__trace__`` — a ``__*`` key, so it never perturbs the digest:
         the trace context from a traced ``submit`` travels all the way
-        into the durable result without forking the dedup plane.
+        into the durable result without forking the dedup plane.  The
+        solver convergence record (``__solve__``) rides along the same
+        way, so ``jobs --results`` returns it intact.
         """
         digest = payload.get("__digest__") or payload_digest(payload)
         path = self.object_path(digest)
@@ -135,6 +137,8 @@ class ResultStore:
             return digest
         body = {k: v for k, v in payload.items() if not k.startswith("__")}
         body["__digest__"] = digest
+        if "__solve__" in payload:
+            body["__solve__"] = payload["__solve__"]
         if trace_id:
             body["__trace__"] = trace_id
         _write_atomic(path, json.dumps(body, sort_keys=True))

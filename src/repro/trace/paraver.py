@@ -119,14 +119,16 @@ def load(path: str | Path) -> Tracer:
 def dumps_pcf(tracer: Tracer) -> str:
     """The semantic config: phase state names + vector-event values."""
     from repro.cfd.phases import PHASE_NAMES
+    from repro.cfd.solver_phases import SOLVER_PHASE_NAMES
 
+    names = {**PHASE_NAMES, **SOLVER_PHASE_NAMES}
     lines = [
         "DEFAULT_OPTIONS", "", "LEVEL               THREAD",
         "UNITS               CYCLES", "", "STATES",
         "0    Idle",
     ]
-    for pid in sorted({b.phase for b in tracer.blocks} | set(PHASE_NAMES)):
-        name = PHASE_NAMES.get(pid, f"phase {pid}")
+    for pid in sorted({b.phase for b in tracer.blocks} | set(names)):
+        name = names.get(pid, f"phase {pid}")
         lines.append(f"{pid}    phase {pid}: {name}")
     opcodes = sorted({e.opcode for e in tracer.vector_instrs})
     lines += ["", "EVENT_TYPE",

@@ -22,8 +22,8 @@ from repro.validation.invariants import (
     validate_run,
     vl_max_for,
 )
-from repro.validation.digests import phase_output_digests
-from repro.validation.golden import GoldenReport, golden_check
+from repro.validation.digests import phase_output_digests, solver_phase_digests
+from repro.validation.golden import GoldenReport, golden_check, solver_golden_check
 from repro.validation.probe import PROBE_MESH, PROBE_VECTOR_SIZE, Probe
 
 __all__ = [
@@ -37,6 +37,8 @@ __all__ = [
     "check_run_counters",
     "golden_check",
     "phase_output_digests",
+    "solver_golden_check",
+    "solver_phase_digests",
     "validate_run",
     "vl_max_for",
 ]

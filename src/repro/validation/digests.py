@@ -105,3 +105,69 @@ def phase_output_digests(opt: "str | Probe" = "vanilla",
         key = replace(spec, rtol=Probe.rtol, atol=Probe.atol)
         return dict(_honest_digests(key))
     return _compute_digests(spec, mutate)
+
+
+# ---------------------------------------------------------------------------
+# the solver path (phases 9-12)
+# ---------------------------------------------------------------------------
+
+
+def _compute_solver_digests(probe: Probe, mutate: Optional[MutateHook],
+                            workload=None) -> dict[int, str]:
+    from repro.backends import get_backend
+    from repro.cfd.solver_phases import (
+        SOLVER_PHASE_OUTPUTS,
+        seeded_solver_inputs,
+    )
+
+    backend = get_backend(probe.backend)
+    app = probe.build_app()
+    if workload is None:
+        workload, _ = app.build_solver()
+    kernels = sorted(workload.kernels, key=lambda k: k.phase)
+    if mutate is not None:
+        kernels = mutate(list(kernels))
+    ctx = workload.context
+    data = seeded_solver_inputs(ctx, probe.field_seed)
+    hashers = {phase: hashlib.sha256() for phase in SOLVER_PHASE_OUTPUTS}
+    for chunk in ctx.chunks():
+        inst = ctx.instance_for_chunk(chunk, globals_data=data)
+        executor = backend.executor(inst, ctx.params)
+        for kern in kernels:
+            executor.run(kern)
+            for name in SOLVER_PHASE_OUTPUTS[kern.phase]:
+                arr = np.ascontiguousarray(
+                    np.asarray(inst.data(name), dtype=np.float64))
+                hashers[kern.phase].update(arr.tobytes())
+    return {phase: h.hexdigest() for phase, h in sorted(hashers.items())}
+
+
+@lru_cache(maxsize=64)
+def _honest_solver_digests(probe: Probe) -> tuple[tuple[int, str], ...]:
+    return tuple(sorted(_compute_solver_digests(probe, None).items()))
+
+
+def solver_phase_digests(opt: "str | Probe" = "vanilla",
+                         *,
+                         probe: Optional[Probe] = None,
+                         backend: Optional[str] = None,
+                         mutate: Optional[MutateHook] = None,
+                         workload=None) -> dict[int, str]:
+    """SHA-256 fingerprint of every solver phase's executed outputs.
+
+    The solver twin of :func:`phase_output_digests`: the compiled SpMV /
+    dot / axpy / Jacobi-apply kernels (phases 9-12) run chunk by chunk
+    on seeded vectors over the probe's assembled (diagonal-shifted)
+    matrix, hashing each phase's output arrays
+    (:data:`repro.cfd.solver_phases.SOLVER_PHASE_OUTPUTS`).  Honest
+    rungs and honest backends all return the same digests; a tampered
+    kernel list (``mutate``) or a fault-injected workload (``workload=``,
+    e.g. a torn ELL gather table) diverges at the struck phase --
+    FLOP-conserving faults included, exactly like the assembly ladder.
+    """
+    spec = resolve_probe(opt, probe, backend=backend,
+                         caller="solver_phase_digests")
+    if mutate is None and workload is None:
+        key = replace(spec, rtol=Probe.rtol, atol=Probe.atol)
+        return dict(_honest_solver_digests(key))
+    return _compute_solver_digests(spec, mutate, workload=workload)

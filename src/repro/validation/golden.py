@@ -203,3 +203,131 @@ def golden_check(opt: "str | Probe" = "vanilla",
     _check_kernels(report, app, kernels, max_violations=max_violations,
                    corrupt=corrupt)
     return report
+
+
+# ---------------------------------------------------------------------------
+# the solver path (phases 9-12)
+# ---------------------------------------------------------------------------
+
+#: fixed tolerances for the end-to-end IR-vs-NumPy solve comparison.
+#: Scalar recurrences (alpha, beta, omega) are fed by kernel-computed
+#: dots that differ from NumPy's pairwise sums at machine epsilon, so
+#: the *iterates* drift slightly over a solve even though every single
+#: kernel agrees to the probe tolerance -- hence looser than Probe.rtol.
+SOLVE_X_RTOL = 1e-6
+SOLVE_X_ATOL = 1e-9
+
+#: slack on the true-residual check: the IR solution must satisfy the
+#: solve within this multiple of the convergence tolerance.
+SOLVE_RESIDUAL_SLACK = 10.0
+
+
+def solver_golden_check(opt: "str | Probe" = "vanilla",
+                        *,
+                        probe: Optional[Probe] = None,
+                        backend: Optional[str] = None,
+                        method: str = "bicgstab",
+                        max_violations: int = 20,
+                        workload=None,
+                        mutate: Optional[MutateHook] = None) -> GoldenReport:
+    """Cross-check the IR solver kernels against the NumPy solver
+    reference (`PHASE_OUTPUTS`-style, phases 9-12).
+
+    Two stages, both recorded in the returned :class:`GoldenReport`:
+
+    1. **per-kernel** -- the compiled SpMV / dot / axpy / Jacobi-apply
+       kernels run chunk by chunk (through the probe's backend) on
+       seeded vectors, against
+       :data:`repro.cfd.solver_phases.SOLVER_REF_PHASES`, compared to
+       the probe tolerance after every kernel;
+    2. **end-to-end** -- :meth:`SolverWorkload.ir_solve` (every vector
+       op through the kernels) against :func:`repro.cfd.solver.cg` /
+       ``bicgstab`` on the assembled shifted system: the converged
+       flags must agree, the IR solution must match the reference
+       within :data:`SOLVE_X_RTOL`/:data:`SOLVE_X_ATOL`, and its true
+       residual must actually satisfy the solve.
+
+    ``workload=`` substitutes a pre-built (possibly fault-injected)
+    :class:`~repro.cfd.solver_path.SolverWorkload`; ``mutate`` rewrites
+    the solver kernel list before execution (the chaos harness's entry
+    points for torn-gather / mis-legalization drills).
+    """
+    from repro.cfd.solver import SolveResult  # noqa: F401  (doc anchor)
+    from repro.cfd.solver_path import SOLVE_TOL
+    from repro.cfd.solver_phases import (
+        SOLVER_PHASE_OUTPUTS,
+        SOLVER_REF_PHASES,
+        seeded_solver_inputs,
+    )
+
+    spec = resolve_probe(opt, probe, backend=backend,
+                         caller="solver_golden_check")
+    report = GoldenReport(opt=spec.opt, vector_size=spec.vector_size,
+                          mesh_dims=spec.mesh_dims, rtol=spec.rtol,
+                          atol=spec.atol, backend=spec.backend)
+    app = spec.build_app()
+    if workload is None:
+        workload, b = app.build_solver()
+    else:
+        _, b = app.build_solver()
+    kernels = sorted(workload.kernels, key=lambda k: k.phase)
+    if mutate is not None:
+        kernels = mutate(list(kernels))
+        workload.kernels = kernels
+        workload.kernels_by_phase = {k.phase: k for k in kernels}
+
+    # -- stage 1: per-kernel, chunk by chunk ----------------------------
+    report.stages.append(("solver-kernels",))
+    be = get_backend(report.backend)
+    ctx = workload.context
+    ir_data = seeded_solver_inputs(ctx, spec.field_seed)
+    ref_data = {name: arr.copy() for name, arr in ir_data.items()}
+    for chunk in ctx.chunks():
+        inst = ctx.instance_for_chunk(chunk, globals_data=ir_data)
+        executor = be.executor(inst, ctx.params)
+        rows = chunk.elements
+        for kern in kernels:
+            phase = kern.phase
+            executor.run(kern)
+            SOLVER_REF_PHASES[phase](ref_data, ctx.params, rows)
+            for name in SOLVER_PHASE_OUTPUTS[phase]:
+                got = np.asarray(inst.data(name), dtype=np.float64)
+                want = np.asarray(ref_data[name], dtype=np.float64)
+                diff = np.abs(got - want)
+                err = float(diff.max()) if diff.size else 0.0
+                report.max_abs_error[phase] = max(
+                    report.max_abs_error.get(phase, 0.0), err)
+                bad = ~np.isclose(got, want, rtol=report.rtol,
+                                  atol=report.atol, equal_nan=False)
+                if bad.any() and len(report.violations) < max_violations:
+                    report.violations.append(
+                        f"solver chunk {chunk.index} phase {phase} "
+                        f"{name!r}: {int(bad.sum())} element(s) deviate, "
+                        f"max abs error {err:.3e}")
+
+    # -- stage 2: end-to-end IR solve vs NumPy solver reference ---------
+    report.stages.append((f"solver-e2e:{method}",))
+    ir = workload.ir_solve(b, method=method, backend=report.backend)
+    ref = workload.reference_solve(b, method=method)
+    if bool(ir.converged) != bool(ref.converged):
+        report.violations.append(
+            f"solver e2e {method}: converged flag mismatch "
+            f"(ir={ir.converged} after {ir.iterations} it, "
+            f"ref={ref.converged} after {ref.iterations} it)")
+    if not np.allclose(ir.x, ref.x, rtol=SOLVE_X_RTOL, atol=SOLVE_X_ATOL,
+                       equal_nan=False):
+        err = float(np.abs(ir.x - ref.x).max())
+        report.violations.append(
+            f"solver e2e {method}: IR solution deviates from the NumPy "
+            f"reference, max abs error {err:.3e}")
+    if ref.converged:
+        from repro.cfd.csr import spmv as _csr_spmv
+
+        true_res = float(np.linalg.norm(
+            b - _csr_spmv(workload.pattern, workload.amatr, ir.x)))
+        bnorm = float(np.linalg.norm(b)) or 1.0
+        if true_res / bnorm > SOLVE_RESIDUAL_SLACK * SOLVE_TOL:
+            report.violations.append(
+                f"solver e2e {method}: IR solution does not satisfy the "
+                f"system (true residual {true_res / bnorm:.3e})")
+    return report

@@ -141,8 +141,12 @@ def check_flop_ladder(runs: Mapping, rtol: float = 1e-6) -> dict[str, list[str]]
     """
     groups: dict[tuple, list] = {}
     for cfg, run in runs.items():
+        # solve=True runs add the solver-kernel arithmetic (phases 9-12)
+        # on top of assembly, so they ladder separately from
+        # assembly-only runs of the same shape.
         ladder = (cfg.machine, cfg.vector_size, cfg.mesh_dims,
-                  cfg.cache_enabled, cfg.field_seed)
+                  cfg.cache_enabled, cfg.field_seed,
+                  getattr(cfg, "solve", False))
         groups.setdefault(ladder, []).append((cfg, run))
     out: dict[str, list[str]] = {}
     for members in groups.values():

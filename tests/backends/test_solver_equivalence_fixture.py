@@ -1,0 +1,60 @@
+"""Frozen-fixture equivalence gate for the solver kernels (phases 9-12).
+
+``tests/fixtures/solver_equivalence.json`` holds the honest solver
+phase-output digests computed once by the interpreter on the pinned
+probe's assembled (diagonal-shifted) matrix.  Every rung and every
+dependency-legal pass schedule, executed by *either* backend, must
+reproduce those digests byte for byte -- the solver twin of the
+``backend_equivalence.json`` gate that lets ``"numpy"`` be the default
+backend.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.compiler.transforms import legal_schedules
+from repro.validation.digests import solver_phase_digests
+from repro.validation.probe import Probe
+
+FIXTURE = Path(__file__).parent.parent / "fixtures" / "solver_equivalence.json"
+
+RUNGS = ("scalar", "vanilla", "vec2", "ivec2", "vec1")
+
+
+@pytest.fixture(scope="module")
+def frozen():
+    return json.loads(FIXTURE.read_text())
+
+
+def _digests(frozen):
+    return {int(p): h for p, h in frozen["digests"].items()}
+
+
+def test_fixture_covers_the_solver_matrix(frozen):
+    assert frozen["generator_backend"] == "interpreter"
+    assert tuple(frozen["rungs"]) == RUNGS
+    assert ([tuple(s) for s in frozen["schedules"]]
+            == list(legal_schedules()))
+    assert sorted(_digests(frozen)) == [9, 10, 11, 12]
+    probe = frozen["probe"]
+    assert (tuple(probe["mesh_dims"]), probe["vector_size"],
+            probe["field_seed"]) == (Probe().mesh_dims,
+                                     Probe().vector_size,
+                                     Probe().field_seed)
+
+
+@pytest.mark.parametrize("backend", ["interpreter", "numpy"])
+@pytest.mark.parametrize("opt", RUNGS)
+def test_solver_rung_digests_match_frozen(frozen, opt, backend):
+    got = solver_phase_digests(Probe(opt=opt, backend=backend))
+    assert got == _digests(frozen)
+
+
+@pytest.mark.parametrize("sched", legal_schedules(),
+                         ids=lambda s: "+".join(s) or "baseline")
+def test_solver_schedule_digests_match_frozen(frozen, sched):
+    got = solver_phase_digests(Probe(opt="vanilla", passes=sched,
+                                     backend="numpy"))
+    assert got == _digests(frozen)

@@ -1,0 +1,210 @@
+"""The solver substrate lowered to loop-nest IR: ELL layout, kernel
+registry, per-kernel pass legality, and the IR-orchestrated Krylov
+solves against the NumPy reference."""
+
+import numpy as np
+import pytest
+
+from repro.cfd.csr import build_pattern, spmv, to_dense
+from repro.cfd.mesh import box_mesh
+from repro.cfd.solver_phases import (
+    AXPY_PHASE,
+    DOT_PHASE,
+    PRECOND_PHASE,
+    SOLVER_PHASE_BUILDERS,
+    SOLVER_PHASE_NAMES,
+    SOLVER_PHASE_OUTPUTS,
+    SOLVER_REF_PHASES,
+    SPMV_PHASE,
+    SolverContext,
+    build_ell,
+    seeded_solver_inputs,
+)
+from repro.cfd.solver_path import (
+    DIAGONAL_SHIFT,
+    SolverWorkload,
+    shift_diagonal,
+)
+from repro.validation.probe import Probe
+
+VS = 8
+
+
+@pytest.fixture(scope="module")
+def system():
+    """Small assembled-like system: mesh pattern + random values."""
+    pattern = build_pattern(box_mesh(3, 2, 2))
+    rng = np.random.default_rng(7)
+    amatr = shift_diagonal(pattern, rng.standard_normal(pattern.nnz) * 0.1,
+                           shift=DIAGONAL_SHIFT)
+    return pattern, amatr
+
+
+@pytest.fixture(scope="module")
+def probe_app():
+    return Probe().build_app()
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_solver_phase_ids_follow_assembly():
+    assert (SPMV_PHASE, DOT_PHASE, AXPY_PHASE, PRECOND_PHASE) == (9, 10, 11, 12)
+    ids = {SPMV_PHASE, DOT_PHASE, AXPY_PHASE, PRECOND_PHASE}
+    assert set(SOLVER_PHASE_BUILDERS) == ids
+    assert set(SOLVER_PHASE_NAMES) == ids
+    assert set(SOLVER_PHASE_OUTPUTS) == ids
+    assert set(SOLVER_REF_PHASES) == ids
+
+
+def test_kernels_carry_their_phase_ids(system):
+    pattern, amatr = system
+    ctx = SolverContext(pattern, amatr, VS)
+    for phase, builder in SOLVER_PHASE_BUILDERS.items():
+        kern = builder(ctx.arrays, VS)
+        assert kern.phase == phase
+        for name in SOLVER_PHASE_OUTPUTS[phase]:
+            assert name in ctx.arrays
+
+
+# -- ELL layout --------------------------------------------------------------
+
+
+def test_build_ell_roundtrips_the_matrix(system):
+    pattern, amatr = system
+    ellval, ellcol, diagv = build_ell(pattern, amatr, VS)
+    n = pattern.n
+    dense = np.zeros((n, n))
+    rowlen, padded = ellval.shape
+    assert padded % VS == 0 and padded >= n
+    for r in range(n):
+        for s in range(rowlen):
+            dense[r, ellcol[s, r]] += ellval[s, r]
+    assert np.allclose(dense, to_dense(pattern, amatr))
+
+
+def test_build_ell_padding_is_harmless(system):
+    pattern, amatr = system
+    ellval, ellcol, diagv = build_ell(pattern, amatr, VS)
+    n = pattern.n
+    # zero-padded slots gather column 0 with a 0.0 coefficient, and
+    # rows past n carry a unit diagonal so Jacobi stays well-defined.
+    nnz_per_row = np.diff(pattern.indptr)
+    for r in range(n):
+        assert not ellval[nnz_per_row[r]:, r].any()
+    assert np.all(diagv[n:] == 1.0)
+
+
+def test_ell_spmv_matches_csr(system):
+    pattern, amatr = system
+    ellval, ellcol, _ = build_ell(pattern, amatr, VS)
+    n = pattern.n
+    rng = np.random.default_rng(3)
+    x = np.zeros(ellval.shape[1])
+    x[:n] = rng.standard_normal(n)
+    y = (ellval * x[ellcol]).sum(axis=0)
+    assert np.allclose(y[:n], spmv(pattern, amatr, x[:n]))
+    assert np.allclose(y[n:], 0.0)
+
+
+def test_seeded_inputs_deterministic(system):
+    pattern, amatr = system
+    ctx = SolverContext(pattern, amatr, VS)
+    a = seeded_solver_inputs(ctx, 0)
+    b = seeded_solver_inputs(ctx, 0)
+    c = seeded_solver_inputs(ctx, 1)
+    for name in ("xvec", "yvec", "rvec"):
+        assert np.array_equal(a[name], b[name])
+        assert not np.array_equal(a[name], c[name])
+
+
+# -- per-kernel pass legality ------------------------------------------------
+
+
+def _remarks(workload, phase):
+    return [r for r in workload.transform_remarks if r.phase == phase]
+
+
+def test_spmv_gather_loop_vectorizes(system):
+    pattern, amatr = system
+    w = SolverWorkload(pattern, amatr, VS, opt="vanilla")
+    spmv_remarks = [r for r in w.remarks if r.phase == SPMV_PHASE]
+    assert any(r.status == "vectorized" for r in spmv_remarks)
+
+
+def test_spmv_reduction_not_interchange_legal(system):
+    """The SpMV row loop mixes data-dependent control flow (the dinv
+    guard) with the gather reduction: interchange must refuse."""
+    pattern, amatr = system
+    w = SolverWorkload(pattern, amatr, VS, opt="ivec2")
+    li = [r for r in _remarks(w, SPMV_PHASE)
+          if r.pass_name == "loop-interchange"]
+    assert li and all(r.status != "applied" for r in li)
+    assert any(r.blockers for r in li)
+
+
+def test_spmv_row_loop_is_fissionable(system):
+    """...but the guarded head and the straight-line gather tail are
+    independent per row, so fission is legal and applies on vec1."""
+    pattern, amatr = system
+    w = SolverWorkload(pattern, amatr, VS, opt="vec1")
+    lf = [r for r in _remarks(w, SPMV_PHASE)
+          if r.pass_name == "loop-fission"]
+    assert any(r.status == "applied" for r in lf)
+
+
+def test_dot_trip_count_promoted(system):
+    pattern, amatr = system
+    w = SolverWorkload(pattern, amatr, VS, opt="vec2")
+    ctc = [r for r in _remarks(w, DOT_PHASE)
+           if r.pass_name == "const-trip-count"]
+    assert any(r.status == "applied" for r in ctc)
+
+
+# -- IR-orchestrated solves --------------------------------------------------
+
+
+@pytest.mark.parametrize("method", ["cg", "bicgstab"])
+def test_ir_solve_matches_reference(probe_app, method):
+    ref = probe_app.reference_solve(method)
+    ir = probe_app.solve(method)
+    assert ir.converged == ref.converged
+    assert ir.iterations == ref.iterations
+    np.testing.assert_allclose(ir.x, ref.x, rtol=1e-9, atol=1e-12)
+
+
+def test_ir_solve_both_backends_agree(probe_app):
+    a = probe_app.solve("bicgstab", backend="numpy")
+    b = probe_app.solve("bicgstab", backend="interpreter")
+    np.testing.assert_array_equal(a.x, b.x)
+    assert a.iterations == b.iterations
+
+
+@pytest.mark.parametrize("method", ["cg", "bicgstab"])
+def test_singular_system_reports_nonconvergence(system, method):
+    """Zeroing a row makes the system unsolvable; the solver must say
+    converged=False while every history entry stays finite (the Jacobi
+    zero-diagonal guard plus the breakdown guards)."""
+    pattern, amatr = system
+    bad = amatr.copy()
+    bad[pattern.row_of_entry() == 5] = 0.0
+    w = SolverWorkload(pattern, bad, VS)
+    rng = np.random.default_rng(11)
+    b = rng.standard_normal(pattern.n)
+    res = w.reference_solve(b, method=method, maxiter=50)
+    assert not res.converged
+    assert np.isfinite(res.residual)
+    assert all(np.isfinite(v) for v in res.history)
+
+
+def test_timed_solve_charges_solver_phases(probe_app):
+    from repro.machine.machines import get_machine
+
+    run, info = probe_app.run_timed_solve(get_machine("riscv_vec"))
+    for phase in (SPMV_PHASE, DOT_PHASE, AXPY_PHASE, PRECOND_PHASE):
+        pc = run.phases[phase]
+        assert pc.cycles_total > 0
+    # the ELL gather runs at vl == rowlen on every vector instruction
+    assert set(run.phases[SPMV_PHASE].vl_hist) == {
+        probe_app.build_solver()[0].context.sizes.rowlen}
+    assert info["converged"] and info["iterations"] >= 1

@@ -46,17 +46,22 @@ def test_plan_dedup_keeps_order():
 
 def test_standard_plan_covers_the_paper_sweep():
     plan = ExecutionPlan.standard("full")
-    assert len(plan) == 49  # 1 scalar + 4 opts x 6 VS + 2 platforms x 2 x 6
+    # 1 scalar + 4 opts x 6 VS + 2 platforms x 2 x 6 + 1 assemble+solve
+    assert len(plan) == 50
     keys = {c.key() for c in plan}
     assert all(c.mesh_dims == FULL_MESH for c in plan)
     assert any("scalar" in k for k in keys)
     assert any(k.startswith("sx_aurora-vec1") for k in keys)
+    # the timed Krylov path rides the standard sweep end to end
+    solve = [c for c in plan if c.solve]
+    assert [c.key().endswith("-solve") for c in solve] == [True]
 
 
 def test_smoke_plan_resolves_mesh_preset():
     plan = ExecutionPlan.smoke("quick")
-    assert len(plan) == 3
+    assert len(plan) == 4
     assert all(c.mesh_dims == QUICK_MESH for c in plan)
+    assert sum(1 for c in plan if c.solve) == 1
 
 
 # -- serial vs parallel ------------------------------------------------------
@@ -283,6 +288,41 @@ def test_run_config_from_kwargs_rejects_junk():
         RunConfig.from_kwargs(optimization="vec1")
     with pytest.raises(ValueError, match="unknown mesh preset"):
         RunConfig.from_kwargs(mesh="huge")
+
+
+def test_run_config_solve_round_trips():
+    cfg = RunConfig(opt="vanilla", vector_size=16, mesh_dims=TINY, solve=True)
+    assert cfg.key().endswith("-solve")
+    wire = cfg.to_dict()
+    assert wire["solve"] is True
+    assert RunConfig.from_dict(wire) == cfg
+    # off by default: no dict key, no key suffix -- existing caches and
+    # bench baselines keep their spelling.
+    plain = RunConfig(opt="vanilla", vector_size=16, mesh_dims=TINY)
+    assert "solve" not in plain.to_dict()
+    assert not plain.key().endswith("-solve")
+    assert RunConfig.from_dict(plain.to_dict()) == plain
+
+
+def test_simulate_to_dict_solve_payload():
+    from repro.metrics.counters import counters_from_dict
+
+    cfg = RunConfig(opt="vanilla", vector_size=8, mesh_dims=(3, 2, 2),
+                    solve=True)
+    payload = simulate_to_dict(cfg)
+    # the solver phases ride next to the assembly phases...
+    assert {"9", "10", "11", "12"} <= set(payload)
+    assert all(payload[p]["cycles_total"] > 0 for p in ("9", "10", "11", "12"))
+    # ...and the convergence record lives under the reserved key,
+    # invisible to both the counter parser and the content digest.
+    info = payload["__solve__"]
+    assert info["converged"] and info["iterations"] >= 1
+    assert info["method"] == "bicgstab" and info["residual"] < 1e-6
+    run = counters_from_dict(payload)
+    assert set(run.phases) >= {9, 10, 11, 12}
+    from repro.experiments.executor import payload_digest
+    stripped = {k: v for k, v in payload.items() if k != "__solve__"}
+    assert payload_digest(payload) == payload_digest(stripped)
 
 
 def test_public_api_surface():

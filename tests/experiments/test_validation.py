@@ -164,7 +164,7 @@ def test_lying_worker_is_quarantined(tmp_path):
     assert sum(1 for ev in events if ev.kind == "invalid") == 2
     assert sum(1 for ev in events if ev.kind == "quarantined") == 1
     # the healthy configs are untouched.
-    assert len(res.runs) == 2
+    assert len(res.runs) == 3
 
 
 def test_invalid_cache_entry_is_discarded_and_resimulated(tmp_path):

@@ -9,6 +9,7 @@ EXPECTED_STAGES = {
     "flop-drift", "worker-hang", "worker-kill", "torn-cache",
     "bitflip-cache", "journal-resume", "golden-clean", "golden-bitflip",
     "emulator-nan-lane", "cache-miss-drift",
+    "solver-nonconverging", "solver-torn-gather",
 }
 
 
@@ -34,6 +35,18 @@ def test_seed0_campaign_absorbs_nothing_silently(tmp_path):
     for name in ("flop-drift", "golden-bitflip", "emulator-nan-lane",
                  "cache-miss-drift"):
         assert by_name[name].classification == "detected", name
+
+    # the solver drills: a stalled Krylov solve must surface its
+    # converged=False (with finite history), and a torn ELL gather --
+    # FLOP-conserving by construction -- must be pinned by the solver
+    # phase digests + golden check.
+    st = by_name["solver-nonconverging"]
+    assert st.classification == "detected"
+    assert any("finite: True" in e for e in st.evidence)
+    st = by_name["solver-torn-gather"]
+    assert st.classification == "detected"
+    assert any("pinned to\nSpMV alone: True".replace("\n", " ") in e
+               for e in st.evidence)
 
     # the report round-trips to disk and is parseable.
     on_disk = json.loads((tmp_path / "chaos-report.json").read_text())

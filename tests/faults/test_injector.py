@@ -140,3 +140,53 @@ def test_interrupting_worker_stops_after_n_runs():
     worker(CFG_B)
     with pytest.raises(KeyboardInterrupt):
         worker(CFG_A)
+
+
+# -- solver-path injectors ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def solver_system():
+    from repro.cfd.csr import build_pattern
+    from repro.cfd.mesh import box_mesh
+    from repro.cfd.solver_path import shift_diagonal
+
+    pattern = build_pattern(box_mesh(3, 2, 2))
+    rng = np.random.default_rng(2)
+    return pattern, shift_diagonal(pattern,
+                                   rng.standard_normal(pattern.nnz) * 0.1)
+
+
+def test_nonconverging_krylov_zeroes_one_seeded_row(solver_system):
+    from repro.faults.injector import inject_nonconverging_krylov
+
+    pattern, amatr = solver_system
+    before = amatr.copy()
+    bad, row = inject_nonconverging_krylov(pattern, amatr, seed=0)
+    bad2, row2 = inject_nonconverging_krylov(pattern, amatr, seed=0)
+    assert (row, bad.tobytes()) == (row2, bad2.tobytes())  # deterministic
+    assert np.array_equal(amatr, before)  # original untouched
+    rows = pattern.row_of_entry()
+    assert not bad[rows == row].any()
+    assert np.array_equal(bad[rows != row], amatr[rows != row])
+    assert row != inject_nonconverging_krylov(pattern, amatr, seed=3)[1]
+
+
+def test_torn_spmv_gather_strikes_a_populated_slot(solver_system):
+    from repro.cfd.solver_phases import build_ell
+    from repro.faults.injector import inject_torn_spmv_gather
+
+    pattern, amatr = solver_system
+    ellval, ellcol, _ = build_ell(pattern, amatr, 8)
+    honest = ellcol.copy()
+    slot, row, old, new = inject_torn_spmv_gather(
+        ellval, ellcol, pattern.n, seed=0)
+    assert ellval[slot, row] != 0.0  # populated: the tear is observable
+    assert old != new and 0 <= new < pattern.n
+    assert ellcol[slot, row] == new and honest[slot, row] == old
+    diff = np.argwhere(ellcol != honest)
+    assert diff.tolist() == [[slot, row]]  # exactly one torn entry
+    # deterministic strike point
+    ellcol2 = honest.copy()
+    assert inject_torn_spmv_gather(ellval, ellcol2, pattern.n,
+                                   seed=0) == (slot, row, old, new)

@@ -6,6 +6,7 @@ from repro.experiments.config import TINY_MESH, RunConfig
 from repro.faults.plan import (
     PASS_FAULT_KINDS,
     PASS_FAULT_RUNGS,
+    SOLVER_FAULT_KINDS,
     WORKER_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
@@ -105,3 +106,32 @@ def test_spec_is_frozen():
     spec = FaultSpec(kind="crash", target_key="k")
     with pytest.raises(AttributeError):
         spec.kind = "hang"
+
+
+# -- solver fault vocabulary -------------------------------------------------
+
+
+def test_solver_fault_kinds_generate_deterministically():
+    # the generic generator covers the solver vocabulary too: same
+    # (seed, keys, kinds) -> same plan, different seeds spread out.
+    a = FaultPlan.generate(0, KEYS, kinds=SOLVER_FAULT_KINDS)
+    b = FaultPlan.generate(0, KEYS, kinds=SOLVER_FAULT_KINDS)
+    assert a == b
+    assert sorted(s.kind for s in a.specs) == sorted(SOLVER_FAULT_KINDS)
+    assert all(s.target_key in KEYS for s in a.specs)
+    plans = {FaultPlan.generate(s, KEYS, kinds=SOLVER_FAULT_KINDS).specs
+             for s in range(8)}
+    assert len(plans) > 1
+
+
+def test_every_solver_kind_has_an_injector():
+    from repro.faults.injector import (
+        SOLVER_FAULT_INJECTORS,
+        solver_fault_injector,
+    )
+
+    assert set(SOLVER_FAULT_INJECTORS) == set(SOLVER_FAULT_KINDS)
+    for kind in SOLVER_FAULT_KINDS:
+        assert callable(solver_fault_injector(kind))
+    with pytest.raises(NotImplementedError):
+        solver_fault_injector("torn_warp_shuffle")

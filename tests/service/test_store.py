@@ -44,6 +44,18 @@ def test_metadata_keys_do_not_change_the_digest(tmp_path):
     assert "__validation__" not in obj
 
 
+def test_solve_record_survives_the_store(tmp_path):
+    # the convergence record is metadata (digest-neutral) but it must
+    # come back out of the store so jobs --results can surface it.
+    store = ResultStore(tmp_path)
+    info = {"method": "bicgstab", "iterations": 3,
+            "residual": 7.47e-09, "converged": True}
+    digest = store.put({**PAYLOAD, "__solve__": info})
+    assert digest == payload_digest(PAYLOAD)
+    got = store.get(digest)
+    assert got["__solve__"] == info
+
+
 def test_torn_object_is_discarded_on_read(tmp_path):
     store = ResultStore(tmp_path)
     digest = store.put(dict(PAYLOAD))

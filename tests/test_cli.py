@@ -212,12 +212,13 @@ def test_bench_smoke_writes_json_report(tmp_path, capsys, monkeypatch):
     assert code == 0
     assert "speedup" in out and "warm recall" in out
     payload = json.loads((tmp_path / "bench.json").read_text())
-    assert payload["configs"] == 3 and payload["jobs"] == 2
-    assert payload["cold_simulated"] == 3 and payload["warm_cache_hits"] == 3
+    assert payload["configs"] == 4 and payload["jobs"] == 2
+    assert payload["cold_simulated"] == 4 and payload["warm_cache_hits"] == 4
     assert payload["serial_s"] > 0 and payload["parallel_s"] > 0
-    assert len(payload["phase_cycles"]) == 3
-    for phases in payload["phase_cycles"].values():
-        assert set(phases) == {str(p) for p in range(1, 9)}
+    assert len(payload["phase_cycles"]) == 4
+    for key, phases in payload["phase_cycles"].items():
+        last = 13 if key.endswith("-solve") else 9
+        assert set(phases) == {str(p) for p in range(1, last)}
 
 
 def test_bench_appends_history_jsonl(tmp_path, capsys, monkeypatch):
