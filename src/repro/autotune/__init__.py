@@ -1,0 +1,44 @@
+"""Pass-schedule autotuner: the paper's transforms as a discovered result.
+
+The search (``repro autotune``) enumerates legal pass schedules --
+interchange x fission x const-trip-count x the machine's ``strip-mine``
+family -- prunes them with a static cost model fed by the machine model,
+digest-validates every survivor, times the rest through the cached
+parallel executor, and reports per-phase winners deterministically.
+See :mod:`repro.autotune.tuner` for the pipeline and
+:mod:`repro.autotune.report` for the byte-stable report contract.
+"""
+
+from repro.autotune.costmodel import ScheduleCostModel
+from repro.autotune.report import (
+    SCHEMA,
+    VEC1_PASSES,
+    AutotuneReport,
+    CandidateOutcome,
+)
+from repro.autotune.space import (
+    enumerate_candidates,
+    schedule_label,
+    strip_sizes,
+)
+from repro.autotune.tuner import (
+    AutotuneError,
+    candidate_config,
+    run_autotune,
+    validate_schedule,
+)
+
+__all__ = [
+    "SCHEMA",
+    "VEC1_PASSES",
+    "AutotuneError",
+    "AutotuneReport",
+    "CandidateOutcome",
+    "ScheduleCostModel",
+    "candidate_config",
+    "enumerate_candidates",
+    "run_autotune",
+    "schedule_label",
+    "strip_sizes",
+    "validate_schedule",
+]

@@ -1,0 +1,150 @@
+"""Static schedule cost model: prune before you time.
+
+The codesign advisor recommends *one next pass* from measured findings;
+the autotuner needs the complementary static view: given a machine model
+and a candidate schedule, decide -- before spending a simulation --
+whether the candidate can possibly win, and predict a relative cost for
+ranking the survivors.
+
+Pruning is conservative and every decision carries a reason string that
+lands verbatim in the :class:`~repro.autotune.report.AutotuneReport`:
+
+* **non-canonical order** -- the pass dependence rules admit several
+  orderings of the same pass set (``loop-fission`` commutes with the
+  VEC2/IVEC2 pair at array granularity); only the canonical
+  paper-ladder order is timed, the permutations are duplicates.
+* **strip legality, statically** -- ``strip-mine`` variants whose
+  preconditions (compile-time trip count via ``const-trip-count``,
+  divisibility of VECTOR_SIZE) are already refutable from the machine
+  model and VECTOR_SIZE alone never reach the executor.
+* **strip profitability** -- on machines without the Vitruvius FSM
+  partial-group penalty (``fsm_depth is None``) a software strip can
+  only add per-strip issue/configuration overhead on top of the
+  hardware's own ``vl_max`` stripping, so the whole family is pruned.
+
+The ``predict`` score mirrors the machine model's cost structure (FSM
+group flush, per-strip issue overhead, L1 footprint) but is a *ranking
+heuristic*: winners are decided by measured cycles, and the report keeps
+both numbers so a mispredicting cost model is visible, not silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.params import MachineParams
+
+#: canonical pass order (the paper's cumulative ladder, strip last).
+CANONICAL_ORDER: dict[str, int] = {
+    "const-trip-count": 0,
+    "loop-interchange": 1,
+    "loop-fission": 2,
+    "strip-mine": 3,
+}
+
+#: bytes per double and a conservative live-array count for the
+#: per-strip working-set footprint estimate.
+_BYTES_PER_ELEM = 8
+_LIVE_ARRAYS = 16
+
+
+def base_names(schedule: tuple[str, ...]) -> tuple[str, ...]:
+    """Registry base names with any ``:arg`` parameters stripped."""
+    return tuple(s.partition(":")[0] for s in schedule)
+
+
+def strip_size(schedule: tuple[str, ...]) -> Optional[int]:
+    """The strip size of the schedule's ``strip-mine`` spelling, if any."""
+    for s in schedule:
+        base, sep, arg = s.partition(":")
+        if base == "strip-mine":
+            return int(arg) if sep else 40
+    return None
+
+
+def canonical_form(schedule: tuple[str, ...]) -> tuple[str, ...]:
+    """The schedule's passes in canonical ladder order."""
+    return tuple(sorted(schedule, key=lambda s: CANONICAL_ORDER[
+        s.partition(":")[0]]))
+
+
+@dataclass(frozen=True)
+class ScheduleCostModel:
+    """Machine-model-fed pruning + ranking for candidate schedules."""
+
+    params: MachineParams
+    vector_size: int
+
+    # -- pruning -----------------------------------------------------------
+
+    def prune_reason(self, schedule: tuple[str, ...]) -> Optional[str]:
+        """Why this candidate must not be timed, or ``None`` to keep it."""
+        order = [CANONICAL_ORDER[b] for b in base_names(schedule)]
+        if any(b <= a for a, b in zip(order, order[1:])):
+            canon = "+".join(canonical_form(schedule))
+            return (f"non-canonical pass order: commutes with "
+                    f"'{canon}' under the pipeline's array-granularity "
+                    f"dependence rules; only the canonical order is timed")
+        size = strip_size(schedule)
+        if size is None:
+            return None
+        vpu = self.params.vpu
+        if vpu is None:
+            return (f"{self.params.name} has no vector unit: "
+                    f"strip-mining only adds loop overhead")
+        if "const-trip-count" not in base_names(schedule):
+            return ("strip-mine requires a compile-time trip count "
+                    "(T5-runtime-trip-count on every target without "
+                    "const-trip-count)")
+        if self.vector_size % size:
+            return (f"strip {size} does not divide VECTOR_SIZE "
+                    f"{self.vector_size} (T5-indivisible: a remainder "
+                    f"strip breaks the mod-{size} discipline)")
+        usable = min(self.vector_size, vpu.vl_max)
+        if size >= usable:
+            return (f"strip {size} >= usable vector length {usable}: "
+                    f"the hardware already strips at vl_max")
+        if vpu.fsm_depth is None:
+            return (f"{self.params.name} has no FSM partial-group "
+                    f"penalty: software strips only add per-strip issue "
+                    f"overhead on top of hardware vl_max stripping")
+        return None
+
+    # -- ranking heuristic -------------------------------------------------
+
+    def predict(self, schedule: tuple[str, ...]) -> float:
+        """Predicted relative cost (lower is better), deterministic.
+
+        Not a cycle count -- a unitless score mirroring the machine
+        model's cost structure, reported next to the measured cycles so
+        cost-model mispredictions are visible in the winner report.
+        """
+        cost = 100.0
+        vpu = self.params.vpu
+        if vpu is None:
+            return cost
+        bases = set(base_names(schedule))
+        usable = min(self.vector_size, vpu.vl_max)
+        if "const-trip-count" in bases:
+            # alias/trip-count fix: unlocks vectorization (VEC2).
+            cost -= 10.0
+        if "loop-interchange" in bases:
+            # long-AVL benefit grows with usable VL over the lane count.
+            cost -= 25.0 * (1.0 - vpu.lanes / max(usable, vpu.lanes))
+        if "loop-fission" in bases:
+            # the straight-line tail becomes a vector candidate (VEC1).
+            cost -= 20.0
+        size = strip_size(schedule)
+        if size:
+            n_strips = -(-usable // size)
+            cost += n_strips * (vpu.issue_overhead + vpu.config_cycles
+                                + vpu.strip_stall_cycles) / 10.0
+            group = vpu.fsm_group_elems
+            if group and usable % group and size % group == 0:
+                # the strip restores FSM-group alignment the full VL lacks.
+                cost -= 2.0 * vpu.fsm_flush_cycles * (usable // group)
+        footprint = (size or usable) * _BYTES_PER_ELEM * _LIVE_ARRAYS
+        if footprint > self.params.memory.l1.size_bytes:
+            cost += 5.0
+        return round(cost, 3)

@@ -1,0 +1,158 @@
+"""The autotune winner report: byte-deterministic per seed.
+
+One :class:`AutotuneReport` records everything the tuner decided and
+why: every enumerated candidate with its status (``timed`` / ``pruned``
+/ ``invalid``), the static cost-model prediction, the prune reason, the
+digest-ladder verdict, the measured per-phase cycles and transform
+remarks for timed candidates, the per-phase and total winners, and the
+VEC1-family verdict (did the search independently rediscover the
+paper's hand-chosen schedule?).
+
+Determinism is a contract, not an accident: no wall-clock timestamps,
+no host names, key-sorted JSON, and every number is a deterministic
+model output -- CI runs the tuner twice and diffs the reports
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.autotune.space import schedule_label
+
+#: report schema version (bump when the payload shape changes).
+SCHEMA = "repro-autotune-v1"
+
+#: the paper's hand-chosen pass set (the VEC1 rung).
+VEC1_PASSES = frozenset(
+    {"const-trip-count", "loop-interchange", "loop-fission"})
+
+
+@dataclass
+class CandidateOutcome:
+    """One candidate schedule's journey through the tuner."""
+
+    schedule: tuple[str, ...]
+    status: str  # timed | pruned | invalid | failed
+    predicted: float
+    prune_reason: str = ""
+    digest_ok: bool | None = None
+    error: str = ""
+    cycles_total: float | None = None
+    #: phase id (str) -> cycles_total, timed candidates only.
+    phase_cycles: dict = field(default_factory=dict)
+    #: transform remarks: list of {phase, kernel, pass, status, reason}.
+    remarks: list = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return schedule_label(self.schedule)
+
+    def to_dict(self) -> dict:
+        out = {
+            "schedule": list(self.schedule),
+            "label": self.label,
+            "status": self.status,
+            "predicted": self.predicted,
+        }
+        if self.prune_reason:
+            out["prune_reason"] = self.prune_reason
+        if self.digest_ok is not None:
+            out["digest_ok"] = self.digest_ok
+        if self.error:
+            out["error"] = self.error
+        if self.cycles_total is not None:
+            out["cycles_total"] = self.cycles_total
+        if self.phase_cycles:
+            out["phase_cycles"] = dict(self.phase_cycles)
+        if self.remarks:
+            out["remarks"] = list(self.remarks)
+        return out
+
+
+@dataclass
+class AutotuneReport:
+    """The deterministic result of one ``run_autotune`` call."""
+
+    machine: str
+    mesh_dims: tuple[int, int, int]
+    vector_size: int
+    profile: str
+    seed: int
+    backend: str
+    model_version: str
+    candidates: list  # list[CandidateOutcome], enumeration order
+    #: phase id (str) -> {"schedule": [...], "label": ..., "cycles": ...}.
+    winners_per_phase: dict = field(default_factory=dict)
+    winner_total: dict = field(default_factory=dict)
+    #: VEC1-family verdict over the per-phase winners.
+    vec1_family: dict = field(default_factory=dict)
+    counts: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def timed(self) -> list:
+        return [c for c in self.candidates if c.status == "timed"]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "machine": self.machine,
+            "mesh": list(self.mesh_dims),
+            "vector_size": self.vector_size,
+            "profile": self.profile,
+            "seed": self.seed,
+            "backend": self.backend,
+            "model_version": self.model_version,
+            "counts": dict(self.counts),
+            "candidates": [c.to_dict() for c in self.candidates],
+            "winners": {
+                "per_phase": dict(self.winners_per_phase),
+                "total": dict(self.winner_total),
+            },
+            "vec1_family": dict(self.vec1_family),
+        }
+
+    def to_json(self) -> str:
+        """Canonical byte-deterministic serialization (CI diffs this)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    # -- rendering ---------------------------------------------------------
+
+    def winner_rows(self) -> list:
+        """Winner table rows (header included), ASCII/markdown-ready."""
+        rows = [["phase", "winning schedule", "cycles", "runner-up"]]
+        for pid in sorted(self.winners_per_phase, key=int):
+            w = self.winners_per_phase[pid]
+            rows.append([pid, w["label"], f"{w['cycles']:,.0f}",
+                         w.get("runner_up", "-")])
+        if self.winner_total:
+            rows.append(["total", self.winner_total["label"],
+                         f"{self.winner_total['cycles']:,.0f}",
+                         self.winner_total.get("runner_up", "-")])
+        return rows
+
+    def winner_table_markdown(self) -> str:
+        """GitHub-flavoured markdown winner table (CI step summary)."""
+        rows = self.winner_rows()
+        lines = [
+            f"### Autotune winners — {self.machine}, "
+            f"VECTOR_SIZE={self.vector_size}, {self.profile} profile",
+            "",
+            "| " + " | ".join(rows[0]) + " |",
+            "|" + "|".join(" --- " for _ in rows[0]) + "|",
+        ]
+        lines.extend("| " + " | ".join(r) + " |" for r in rows[1:])
+        fam = self.vec1_family
+        verdict = ("rediscovered the paper's VEC1-family schedule"
+                   if fam.get("rediscovered")
+                   else "did NOT converge on the paper's VEC1 family")
+        counts = self.counts
+        lines += ["",
+                  f"{counts.get('timed', 0)} timed / "
+                  f"{counts.get('pruned', 0)} pruned / "
+                  f"{counts.get('invalid', 0)} invalid of "
+                  f"{counts.get('enumerated', 0)} enumerated — "
+                  f"search {verdict}."]
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,69 @@
+"""Candidate pass-schedule enumeration for the autotuner.
+
+The search space is the cross product of the dependency-legal base
+schedules (:func:`~repro.compiler.transforms.legal_schedules`, the
+interchange x fission x const-trip-count vocabulary the backend
+equivalence gate already sweeps) with the machine's strip-mine family:
+for every base schedule, one variant per candidate strip size with
+``strip-mine:S`` appended last.
+
+Strip sizes come from the machine model, not from a hard-coded list:
+multiples of the Vitruvius FSM group (``lanes * fsm_depth``, 40 elements
+on the RISC-V prototype -- the paper's mod-40 VECTOR_SIZE discipline),
+or of the lane count on machines without the FSM quirk, strictly below
+the usable vector length (a strip the size of the full VL is the
+identity).  The ``smoke`` profile keeps only the first (paper-canonical)
+strip size so CI runs stay small.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.transforms import legal_schedules
+from repro.machine.params import MachineParams
+
+#: candidate-sweep profiles (mirrors ``repro bench --profile``).
+PROFILES = ("smoke", "standard")
+
+
+def strip_sizes(params: MachineParams, vector_size: int,
+                profile: str = "standard") -> tuple[int, ...]:
+    """Candidate strip sizes for one machine at one VECTOR_SIZE.
+
+    Multiples of the FSM group (or lane count when ``fsm_depth`` is
+    ``None``) strictly below ``min(vector_size, vl_max)``.  Machines
+    without a vector unit have no strip family at all.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; known: {PROFILES}")
+    vpu = params.vpu
+    if vpu is None:
+        return ()
+    usable = min(vector_size, vpu.vl_max)
+    basis = vpu.fsm_group_elems or vpu.lanes
+    sizes = tuple(range(basis, usable, basis))
+    return sizes[:1] if profile == "smoke" else sizes
+
+
+def enumerate_candidates(params: MachineParams, vector_size: int,
+                         profile: str = "standard"
+                         ) -> tuple[tuple[str, ...], ...]:
+    """Every candidate schedule, deterministic order.
+
+    Base schedules first (shortest first, then lexicographic -- the
+    ``legal_schedules()`` order), then one strip-mined variant per base
+    per strip size, grouped by strip size.  Every candidate constructs
+    via ``pipeline_from_names``; whether it is *worth timing* is the
+    cost model's call (:mod:`repro.autotune.costmodel`), not the
+    enumerator's.
+    """
+    bases = legal_schedules()
+    out: list[tuple[str, ...]] = list(bases)
+    for size in strip_sizes(params, vector_size, profile):
+        spelling = f"strip-mine:{size}"
+        out.extend(base + (spelling,) for base in bases)
+    return tuple(out)
+
+
+def schedule_label(schedule: tuple[str, ...]) -> str:
+    """Human-readable candidate name (``baseline`` for the empty one)."""
+    return "+".join(schedule) if schedule else "baseline"

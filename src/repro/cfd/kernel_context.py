@@ -21,7 +21,7 @@ interpreter/reference paths) different gather data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -19,7 +19,7 @@ from typing import Mapping, MutableMapping
 
 import numpy as np
 
-from repro.cfd.elements import HEX08, NDIME, NDOFN, NGAUS, PNODE
+from repro.cfd.elements import HEX08, NDIME, NGAUS
 
 Data = MutableMapping[str, np.ndarray]
 

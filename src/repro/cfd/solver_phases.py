@@ -61,7 +61,6 @@ from repro.cfd.phases import (
     _vec_dummy_extent,
     _vec_extent,
 )
-from repro.cfd.solver import SolveResult
 from repro.compiler.ir import (
     Affine,
     Array,

@@ -9,6 +9,15 @@ command per artifact or workflow:
 * ``bench``                     -- time the sweep executor, write BENCH_report.json;
   with ``--baseline PATH`` it also gates the fresh per-phase cycle
   counts against a committed report and exits non-zero on a breach;
+  ``--schedule NAME[,NAME...]`` replays discovered pass schedules
+  (e.g. from ``repro autotune``) as extra gated runs;
+* ``autotune``                  -- discover the best pass schedule per
+  phase: enumerate legal schedules (interchange x fission x
+  const-trip-count x strip-mine), prune with the machine-model cost
+  model, digest-validate survivors, time them through the cached
+  executor, and write a byte-deterministic AUTOTUNE_report.json;
+  ``--socket`` times candidates through a running sweep service
+  instead (submitted as an ``autotune``-kind job);
 * ``remarks``                   -- the compiler's vectorization remarks;
 * ``passes``                    -- run the transformation pass pipeline
   and show each kernel before/after every applied pass, with the
@@ -310,6 +319,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=None, metavar="FRAC",
                    help="relative per-phase tolerance for --baseline "
                         "(default 0.10 = 10%%)")
+    p.add_argument("--schedule", action="append", default=None,
+                   metavar="NAME[,NAME...]",
+                   help="replay a discovered pass schedule as an extra "
+                        "benchmarked (and --baseline gated) run; "
+                        "comma-separate passes within one schedule, "
+                        "repeat the flag for several schedules "
+                        "(e.g. --schedule const-trip-count,loop-"
+                        "interchange,loop-fission)")
+
+    p = sub.add_parser("autotune", help="discover the best pass schedule "
+                                        "per phase; write a deterministic "
+                                        "winner report")
+    p.add_argument("--preset", choices=("tiny", "quick", "full"),
+                   default=None,
+                   help="mesh preset shorthand; overrides --mesh")
+    _add_mesh(p)
+    p.add_argument("--machine", default="riscv_vec",
+                   choices=("riscv_vec", "riscv_vec_next", "sx_aurora",
+                            "mn4_avx512", "a64fx"))
+    p.add_argument("--vs", type=int, default=240, help="VECTOR_SIZE")
+    p.add_argument("--profile", choices=("smoke", "standard"),
+                   default="standard",
+                   help="smoke = one strip size per family (CI), "
+                        "standard = every legal strip size")
+    p.add_argument("--seed", type=int, default=0,
+                   help="field seed for the timed candidates (default 0); "
+                        "the report is byte-deterministic per seed")
+    _add_jobs(p)
+    _add_backend(p)
+    p.add_argument("-o", "--output", default="AUTOTUNE_report.json",
+                   help="winner report path (JSON)")
+    p.add_argument("--summary", default=None, metavar="PATH",
+                   help="also write the winner table as GitHub-flavoured "
+                        "markdown (CI publishes it to the step summary)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="time candidates through a running sweep service "
+                        "at this socket (submits one 'autotune'-kind "
+                        "job) instead of the local executor")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for --socket submissions")
 
     p = sub.add_parser("remarks", help="compiler vectorization remarks")
     _add_common(p)
@@ -449,6 +498,29 @@ def _cmd_bench(args) -> int:
     plan = (ExecutionPlan.smoke(dims) if args.profile == "smoke"
             else ExecutionPlan.standard(dims))
 
+    # --schedule NAME[,NAME...]: replay discovered pass schedules (the
+    # autotune ledger) as extra runs; their per-phase cycles join
+    # phase_cycles, so a committed baseline gates them like any rung.
+    schedules: list[tuple[str, ...]] = []
+    if args.schedule:
+        from repro.compiler.transforms import (
+            PipelineError,
+            pipeline_from_names,
+        )
+
+        for spec in args.schedule:
+            names = tuple(s.strip() for s in spec.split(",") if s.strip())
+            try:
+                pipeline_from_names(names)  # legality: spelling + registry
+            except PipelineError as exc:
+                print(f"[bench] bad --schedule {spec!r}: {exc}",
+                      file=sys.stderr, flush=True)
+                return 2
+            schedules.append(names)
+        extras = [RunConfig(opt="vanilla", vector_size=240, mesh_dims=dims,
+                            passes=names or None) for names in schedules]
+        plan = ExecutionPlan.from_configs(list(plan) + extras)
+
     def timed(cache_dir, n):
         t0 = time.perf_counter()
         res = execute_plan(plan, cache_dir=cache_dir, jobs=n)
@@ -465,6 +537,7 @@ def _cmd_bench(args) -> int:
         "paper": "Exploiting long vectors with a CFD code (IPPS 2024)",
         "mesh": list(dims),
         "profile": args.profile,
+        "schedules": [list(s) for s in schedules],
         "configs": len(plan),
         "jobs": jobs,
         "serial_s": round(serial_s, 3),
@@ -495,6 +568,9 @@ def _cmd_bench(args) -> int:
     print(f"\nspeedup (serial/parallel): {payload['speedup']}x"
           f" -- report written to {args.output}"
           + (f", history appended to {history}" if history else ""))
+    if schedules:
+        print("replayed schedule(s): "
+              + ", ".join("+".join(s) or "baseline" for s in schedules))
 
     if args.baseline:
         threshold = (gate.DEFAULT_THRESHOLD if args.threshold is None
@@ -515,6 +591,74 @@ def _cmd_bench(args) -> int:
             return 1
         print(f"\ngate: {gated} run(s) within {threshold:.0%} "
               f"of {args.baseline}")
+    return 0
+
+
+def _service_time_runs(socket: str, tenant: str):
+    """Timing stage for ``repro autotune --socket``: submit the candidate
+    plan to a running sweep service as one ``autotune``-kind job, wait,
+    and fold the fetched payloads back into RunCounters."""
+    from repro.metrics.counters import counters_from_dict
+    from repro.service import ServiceClient
+
+    def time_runs(configs):
+        client = ServiceClient(socket)
+        resp = client.submit(list(configs), tenant=tenant, kind="autotune")
+        if not resp.get("ok"):
+            raise RuntimeError(
+                f"service rejected the candidate plan: "
+                f"{resp.get('rejected', resp.get('error'))}")
+        job_id = resp["job_id"]
+        print(f"[autotune] candidates submitted as job {job_id} "
+              f"(kind autotune)", file=sys.stderr, flush=True)
+        view = client.wait(job_id)
+        if view.get("status") != "done":
+            raise RuntimeError(
+                f"autotune job {job_id} finished {view.get('status')!r}: "
+                f"{view.get('error', '')}")
+        fetched = client.fetch(job_id)
+        return {key: counters_from_dict(payload)
+                for key, payload in fetched["results"].items()}
+
+    return time_runs
+
+
+def _cmd_autotune(args) -> int:
+    from pathlib import Path
+
+    from repro.autotune import AutotuneError, run_autotune
+
+    if args.preset:
+        args.mesh = args.preset
+    dims = _mesh_dims(args.mesh)
+    time_runs = (_service_time_runs(args.socket, args.tenant)
+                 if args.socket else None)
+    print(f"[autotune] machine {args.machine}, mesh {dims}, "
+          f"VECTOR_SIZE {args.vs}, {args.profile} profile, "
+          f"seed {args.seed}", file=sys.stderr, flush=True)
+    try:
+        rep = run_autotune(dims, machine=args.machine, vector_size=args.vs,
+                           profile=args.profile, seed=args.seed,
+                           backend=args.backend, jobs=_jobs(args),
+                           time_runs=time_runs)
+    except (AutotuneError, RuntimeError, ValueError) as exc:
+        print(f"[autotune] {exc}", file=sys.stderr, flush=True)
+        return 1
+    Path(args.output).write_text(rep.to_json())
+    if args.summary:
+        Path(args.summary).write_text(rep.winner_table_markdown())
+
+    counts = rep.counts
+    print(f"candidates: {counts['enumerated']} enumerated, "
+          f"{counts['pruned']} pruned, {counts['invalid']} invalid, "
+          f"{counts['timed']} timed")
+    print()
+    print(report.format_table(rep.winner_rows()))
+    fam = rep.vec1_family
+    print(f"\nVEC1 family verdict: subset_ok={fam['subset_ok']} "
+          f"union_equals_vec1={fam['union_equals_vec1']} "
+          f"rediscovered={fam['rediscovered']}")
+    print(f"report written to {args.output}")
     return 0
 
 
@@ -894,9 +1038,11 @@ def _cmd_jobs(args) -> int:
     if not views:
         print("no jobs")
         return 0
-    rows = [["job", "tenant", "prio", "status", "done", "store", "computed"]]
+    rows = [["job", "tenant", "kind", "prio", "status", "done", "store",
+             "computed"]]
     for v in views:
-        rows.append([v["job_id"], v["tenant"], f"{v['priority']:g}",
+        rows.append([v["job_id"], v["tenant"], v.get("kind", "sweep"),
+                     f"{v['priority']:g}",
                      v["status"], f"{v['completed']}/{v['total']}",
                      str(v["from_store"]), str(v["recomputed"])])
     print(report.format_table(rows))
@@ -1009,6 +1155,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": lambda: _cmd_sweep(args),
         "report": lambda: _cmd_report(args),
         "bench": lambda: _cmd_bench(args),
+        "autotune": lambda: _cmd_autotune(args),
         "chaos": lambda: _cmd_chaos(args),
         "remarks": lambda: _cmd_remarks(args),
         "passes": lambda: _cmd_passes(args),

@@ -23,7 +23,7 @@ re-derives the paper's exact optimization sequence (see
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.cfd.assembly import MiniApp

@@ -25,7 +25,7 @@ configurable parameter.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, Optional, Union
 
 # ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.compiler.transforms.passes import (
     ConstantTripCount,
     LoopFission,
     LoopInterchange,
+    StripMine,
 )
 from repro.compiler.transforms.pipeline import (
     OPT_PASSES,
@@ -41,6 +42,7 @@ __all__ = [
     "Pass",
     "PassPipeline",
     "PipelineError",
+    "StripMine",
     "TransformRemark",
     "legal_schedules",
     "opt_for_passes",

@@ -71,9 +71,27 @@ class Pass:
 
     name: ClassVar[str] = "pass"
     requires: ClassVar[tuple[type["Pass"], ...]] = ()
+    #: parameterized passes take a ``name:arg`` spelling (e.g.
+    #: ``strip-mine:40``) and are excluded from the default
+    #: ``legal_schedules()`` vocabulary -- their schedule space is a
+    #: family, not a single point.
+    parameterized: ClassVar[bool] = False
 
     def __init__(self, vec_var: str = "ivect"):
         self.vec_var = vec_var
+
+    @property
+    def spelling(self) -> str:
+        """The registry spelling that reconstructs this instance via
+        ``pipeline_from_names`` (parameterized passes append ``:arg``)."""
+        return self.name
+
+    @classmethod
+    def parse_spelling_arg(cls, arg: str) -> dict:
+        """Constructor kwargs for the ``:arg`` suffix of a spelling."""
+        raise PipelineError(
+            f"pass '{cls.name}' takes no ':' parameter (got "
+            f"'{cls.name}:{arg}')")
 
     def run(self, kernel: Kernel) -> tuple[Kernel, TransformRemark]:
         raise NotImplementedError

@@ -14,6 +14,14 @@
   if-convert) with a straight-line tail into two loops, so the tail
   becomes a clean vectorization candidate (the paper's WORK A / WORK B
   split, Algorithms 3/4).
+* :class:`StripMine`: tile the chunk-element loop into fixed-size
+  strips (``do is = 0, N/S - 1; do ivect = 0, S - 1``), the transform
+  behind the paper's mod-40 VECTOR_SIZE variants -- on the Vitruvius
+  FSM a vector length that is a multiple of ``lanes * fsm_depth = 40``
+  avoids the partial-group flush, so the autotuner explores strip sizes
+  from that family.  The rewrite is a pure re-indexing that preserves
+  iteration order exactly, so every per-phase output digest (accumulates
+  included) is bit-identical.
 
 Every pass rewrites *any* kernel exhibiting the pattern -- the phase
 numbers of the mini-app are nowhere in this module; on the mini-app the
@@ -24,11 +32,30 @@ exactly how the passes reproduce the paper's hand refactors.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import ClassVar
 
 from repro.compiler.analysis import Blocker
-from repro.compiler.ir import Extent, Kernel, Loop, Stmt, walk_loops
+from repro.compiler.ir import (
+    Affine,
+    Assign,
+    BinOp,
+    Cond,
+    Expr,
+    Extent,
+    If,
+    IndexExpr,
+    Indirect,
+    Kernel,
+    Load,
+    Loop,
+    Ref,
+    Stmt,
+    Unary,
+    walk_loops,
+)
 from repro.compiler.transforms.base import (
     Pass,
+    PipelineError,
     TransformRemark,
     contains_control_flow,
     independence_blockers,
@@ -204,3 +231,163 @@ class LoopFission(Pass):
             reason=f"split into a mixed head ({len(head)} stmt(s), kept "
                    f"scalar) and a straight-line tail ({len(tail)} "
                    f"stmt(s), now a vectorization candidate)")
+
+
+class StripMine(Pass):
+    """Tile the chunk-element loop into fixed-size strips.
+
+    ``Loop(ivect, N, body)`` becomes ``Loop(ivect_strip, N/S,
+    (Loop(ivect, S, body'),))`` where *body'* rewrites every affine
+    index term ``(ivect, c)`` by adding ``(ivect_strip, c*S)``, i.e.
+    the flat element index is recovered as ``ivect_strip*S + ivect``.
+    The strip-major/element-minor iteration order equals the original
+    linear order, so the rewrite is digest-preserving even through
+    accumulates.
+
+    Legality: the target trip count must be compile-time known
+    (T5-runtime-trip-count) and divisible by the strip size
+    (T5-indivisible) -- the paper's mod-40 VECTOR_SIZE discipline,
+    where the remainder-free family is exactly the multiples of the
+    Vitruvius FSM group (``lanes * fsm_depth``).
+    """
+
+    name = "strip-mine"
+    parameterized: ClassVar[bool] = True
+
+    def __init__(self, strip: int = 40, vec_var: str = "ivect"):
+        super().__init__(vec_var=vec_var)
+        if strip < 2:
+            raise PipelineError(
+                f"strip-mine strip size must be >= 2, got {strip}")
+        self.strip = strip
+        self.strip_var = f"{vec_var}_strip"
+
+    @property
+    def spelling(self) -> str:
+        return f"{self.name}:{self.strip}"
+
+    @classmethod
+    def parse_spelling_arg(cls, arg: str) -> dict:
+        try:
+            strip = int(arg)
+        except ValueError:
+            raise PipelineError(
+                f"strip-mine parameter must be an integer strip size, "
+                f"got {arg!r}") from None
+        if strip < 2:
+            raise PipelineError(
+                f"strip-mine strip size must be >= 2, got {strip}")
+        return {"strip": strip}
+
+    # -- targets and legality ----------------------------------------------
+
+    def _targets(self, kernel: Kernel) -> list[Loop]:
+        return [lp for lp in walk_loops(kernel.body)
+                if lp.var == self.vec_var
+                and not (lp.extent.compile_time_known
+                         and lp.extent.value <= self.strip)]
+
+    def _legality(self, kernel: Kernel,
+                  targets: list[Loop]) -> list[Blocker]:
+        blockers: list[Blocker] = []
+        if any(lp.var == self.strip_var for lp in walk_loops(kernel.body)):
+            blockers.append(Blocker(
+                "T5-already-stripped",
+                f"loop variable '{self.strip_var}' already exists; "
+                f"strip-mining twice would shadow it",
+            ))
+        for lp in targets:
+            if not lp.extent.compile_time_known:
+                blockers.append(Blocker(
+                    "T5-runtime-trip-count",
+                    f"trip count of loop '{lp.var}' is a runtime dummy "
+                    f"argument; strip bounds would need a runtime "
+                    f"remainder loop -- run {ConstantTripCount.name} "
+                    f"(VEC2) first",
+                ))
+            elif lp.extent.value % self.strip:
+                blockers.append(Blocker(
+                    "T5-indivisible",
+                    f"trip count {lp.extent.value} of loop '{lp.var}' is "
+                    f"not a multiple of strip size {self.strip}; the "
+                    f"remainder strip would break the mod-{self.strip} "
+                    f"VECTOR_SIZE discipline",
+                ))
+        return blockers
+
+    # -- index rewriting ---------------------------------------------------
+
+    def _shift_index(self, e: IndexExpr) -> IndexExpr:
+        if isinstance(e, Affine):
+            coef = e.coef(self.vec_var)
+            if coef == 0:
+                return e
+            return Affine(e.terms + ((self.strip_var, coef * self.strip),),
+                          e.const)
+        if isinstance(e, Indirect):
+            return replace(e, idx=tuple(self._shift_index(i) for i in e.idx))
+        return e
+
+    def _shift_ref(self, ref: Ref) -> Ref:
+        return Ref(ref.array, tuple(self._shift_index(i) for i in ref.idx))
+
+    def _shift_expr(self, e: Expr) -> Expr:
+        if isinstance(e, Load):
+            return Load(self._shift_ref(e.ref))
+        if isinstance(e, BinOp):
+            return replace(e, lhs=self._shift_expr(e.lhs),
+                           rhs=self._shift_expr(e.rhs))
+        if isinstance(e, Unary):
+            return replace(e, x=self._shift_expr(e.x))
+        return e
+
+    def _shift_stmts(self, stmts: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+        out: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Assign):
+                out.append(replace(s, ref=self._shift_ref(s.ref),
+                                   expr=self._shift_expr(s.expr)))
+            elif isinstance(s, If):
+                cond = Cond(s.cond.op, self._shift_expr(s.cond.lhs),
+                            self._shift_expr(s.cond.rhs))
+                out.append(replace(s, cond=cond,
+                                   body=self._shift_stmts(s.body)))
+            elif isinstance(s, Loop):
+                out.append(s.with_body(self._shift_stmts(s.body)))
+            else:
+                out.append(s)
+        return tuple(out)
+
+    # -- the rewrite -------------------------------------------------------
+
+    def run(self, kernel: Kernel) -> tuple[Kernel, TransformRemark]:
+        targets = self._targets(kernel)
+        if not targets:
+            return kernel, self._remark(
+                kernel, "not-applicable",
+                reason=f"no '{self.vec_var}' loop has a trip count larger "
+                       f"than strip size {self.strip}")
+        blockers = tuple(self._legality(kernel, targets))
+        if blockers:
+            return kernel, self._remark(
+                kernel, "illegal", loop_var=targets[0].var,
+                reason="; ".join(b.reason for b in blockers),
+                blockers=blockers)
+
+        target_ids = {id(lp) for lp in targets}
+
+        def strip(loop: Loop):
+            if id(loop) not in target_ids:
+                return None  # recurse
+            n_strips = loop.extent.value // self.strip
+            inner = Loop(self.vec_var, Extent(self.strip, "const"),
+                         self._shift_stmts(rewrite_loops(loop.body, strip)),
+                         vectorized=loop.vectorized)
+            return (Loop(self.strip_var, Extent(n_strips, "const"), (inner,)),)
+
+        new_body = rewrite_loops(kernel.body, strip)
+        trips = ", ".join(str(lp.extent.value) for lp in targets)
+        return replace(kernel, body=new_body), self._remark(
+            kernel, "applied", loop_var=targets[0].var,
+            reason=f"loop '{self.vec_var}' (trip {trips}) tiled into "
+                   f"strips of {self.strip} under '{self.strip_var}'")

@@ -30,14 +30,18 @@ from repro.compiler.transforms.passes import (
     ConstantTripCount,
     LoopFission,
     LoopInterchange,
+    StripMine,
 )
 from repro.obs.tracer import event as _obs_event, span as _obs_span
 
 #: registry spelling -> pass class (the CLI/--passes vocabulary).
+#: Parameterized passes (``StripMine``) are spelled ``name:arg``
+#: (e.g. ``strip-mine:40``); the base name keys the registry.
 PASS_REGISTRY: dict[str, type[Pass]] = {
     ConstantTripCount.name: ConstantTripCount,
     LoopInterchange.name: LoopInterchange,
     LoopFission.name: LoopFission,
+    StripMine.name: StripMine,
 }
 
 #: the paper's cumulative OPT rungs as ordered pass lists.
@@ -72,7 +76,7 @@ class PassPipeline:
 
     @property
     def pass_names(self) -> tuple[str, ...]:
-        return tuple(p.name for p in self.passes)
+        return tuple(p.spelling for p in self.passes)
 
     def __len__(self) -> int:
         return len(self.passes)
@@ -124,16 +128,24 @@ class PassPipeline:
 
 def pipeline_from_names(names: Sequence[str], name: str = "",
                         vec_var: str = "ivect") -> PassPipeline:
-    """Build a pipeline from registry spellings (``RunConfig.passes``)."""
+    """Build a pipeline from registry spellings (``RunConfig.passes``).
+
+    A spelling is a registry name, optionally followed by ``:arg`` for
+    parameterized passes -- ``strip-mine:40`` builds
+    ``StripMine(strip=40)``.  ``PassPipeline.pass_names`` round-trips
+    the spellings.
+    """
     passes = []
-    for n in names:
+    for spelling in names:
+        base, sep, arg = spelling.partition(":")
         try:
-            cls = PASS_REGISTRY[n]
+            cls = PASS_REGISTRY[base]
         except KeyError:
             raise PipelineError(
-                f"unknown pass {n!r}; known: {sorted(PASS_REGISTRY)}"
+                f"unknown pass {base!r}; known: {sorted(PASS_REGISTRY)}"
             ) from None
-        passes.append(cls(vec_var=vec_var))
+        kwargs = cls.parse_spelling_arg(arg) if sep else {}
+        passes.append(cls(vec_var=vec_var, **kwargs))
     return PassPipeline(passes, name=name)
 
 
@@ -148,18 +160,26 @@ def pipeline_for_opt(opt: str) -> PassPipeline:
     return pipeline_from_names(names, name=opt)
 
 
-def legal_schedules() -> tuple[tuple[str, ...], ...]:
-    """Every dependency-legal pass schedule over the registry.
+def legal_schedules(
+    names: Sequence[str] | None = None,
+) -> tuple[tuple[str, ...], ...]:
+    """Every dependency-legal pass schedule over a spelling vocabulary.
 
-    Enumerates all permutations of all subsets of :data:`PASS_REGISTRY`
-    and keeps those that construct without :class:`PipelineError` --
-    the exhaustive ``RunConfig.passes`` vocabulary the backend
-    equivalence gate sweeps.  Deterministic: shortest first, then
-    lexicographic.
+    Enumerates all permutations of all subsets of *names* and keeps
+    those that construct without :class:`PipelineError` -- the
+    exhaustive ``RunConfig.passes`` vocabulary the backend equivalence
+    gate sweeps.  *names* defaults to the non-parameterized registry
+    (parameterized spellings like ``strip-mine:40`` describe a family,
+    not a point; the autotuner passes them explicitly).  Deterministic:
+    shortest first, then lexicographic.
     """
     from itertools import permutations
 
-    names = sorted(PASS_REGISTRY)
+    if names is None:
+        names = sorted(n for n, cls in PASS_REGISTRY.items()
+                       if not cls.parameterized)
+    else:
+        names = sorted(names)
     out: list[tuple[str, ...]] = []
     for r in range(len(names) + 1):
         for combo in permutations(names, r):

@@ -8,7 +8,7 @@ qualitative shapes on these objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.experiments.config import PLATFORMS, VECTOR_SIZES
 from repro.experiments.runner import Session

@@ -27,7 +27,7 @@ from __future__ import annotations
 import os
 import sys
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
 from repro.cfd.assembly import MiniApp
 from repro.cfd.mesh import Mesh, box_mesh

@@ -7,7 +7,6 @@ EXPERIMENTS.md.  Exposed on the CLI as ``python -m repro report``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.experiments import figures as F
 from repro.experiments import report as R

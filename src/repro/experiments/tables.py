@@ -7,7 +7,7 @@ paper's layout plus ``rows()`` for plain rendering through
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.compiler.flags import TABLE1_ROWS
 from repro.experiments.config import VECTOR_SIZES

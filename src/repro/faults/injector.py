@@ -29,7 +29,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.experiments.config import RunConfig
-from repro.experiments.executor import cache_path, simulate_to_dict
+from repro.experiments.executor import simulate_to_dict
 from repro.faults.plan import FaultPlan, FaultSpec
 
 #: exit status used by the ``kill`` fault (mirrors a SIGKILLed worker

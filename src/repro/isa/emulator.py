@@ -21,8 +21,8 @@ exactly the (opcode, vl) stream Vehave traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
 
 import numpy as np
 

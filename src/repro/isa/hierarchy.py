@@ -13,9 +13,9 @@ authoritative definition of *which bucket an opcode belongs to*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.isa.instructions import InstrClass, InstrSpec, VectorKind
+from repro.isa.instructions import InstrClass, InstrSpec
 
 #: Ordered bucket names as they appear in the paper's Figure 3 legend.
 VECTOR_BUCKETS = ("arithmetic", "memory", "control_lane")

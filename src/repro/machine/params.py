@@ -9,7 +9,7 @@ ratios across machines, never absolute seconds across machines).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

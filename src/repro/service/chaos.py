@@ -48,7 +48,6 @@ import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Optional
 
 from repro.experiments.config import MeshSpec, resolve_mesh
 from repro.experiments.executor import (

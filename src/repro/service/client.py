@@ -73,11 +73,14 @@ class ServiceClient:
 
     def submit(self, configs: Iterable[RunConfig] | RunConfig,
                tenant: str = "default", priority: float = 0.0,
-               trace: bool = False, trace_id: str = "") -> dict:
+               trace: bool = False, trace_id: str = "",
+               kind: str = "sweep") -> dict:
         """Submit a sweep; ``trace=True`` stamps a fresh trace id (or
         pass an explicit *trace_id* to join an existing trace) that the
         service propagates through journal, workers, and store — the
-        response echoes it back for ``repro trace --job`` correlation."""
+        response echoes it back for ``repro trace --job`` correlation.
+        *kind* labels the workload (``sweep`` / ``autotune``) in the
+        journal and the ``repro jobs`` table."""
         if isinstance(configs, RunConfig):
             configs = [configs]
         if trace and not trace_id:
@@ -85,7 +88,7 @@ class ServiceClient:
         return self._request("submit",
                              configs=[c.to_dict() for c in configs],
                              tenant=tenant, priority=priority,
-                             trace_id=trace_id)
+                             trace_id=trace_id, kind=kind)
 
     def poll(self, job_id: str) -> dict:
         return self._request("poll", job_id=job_id)

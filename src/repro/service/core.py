@@ -171,10 +171,14 @@ class SweepService:
 
     def submit(self, configs: Iterable[RunConfig] | RunConfig,
                tenant: str = "default", priority: float = 0.0,
-               trace_id: str = "") -> dict:
+               trace_id: str = "", kind: str = "sweep") -> dict:
         """Enqueue one sweep; returns ``{"ok": True, "job_id": ...}`` or
         an explicit ``{"ok": False, "rejected": reason}`` — a submission
         is *never* silently dropped.
+
+        *kind* labels the workload (``sweep`` by default, ``autotune``
+        for candidate-timing plans submitted by ``repro autotune``); it
+        is journaled, survives restart, and shows in ``repro jobs``.
 
         A non-empty *trace_id* (stamped by a traced
         :meth:`~repro.service.client.ServiceClient.submit`) makes this a
@@ -203,7 +207,8 @@ class SweepService:
             job_id = f"j{self._seq:05d}"
             self._seq += 1
             job = Job(job_id=job_id, tenant=tenant, priority=float(priority),
-                      configs=configs, trace_id=str(trace_id or ""))
+                      configs=configs, trace_id=str(trace_id or ""),
+                      kind=str(kind or "sweep"))
             job.submitted_at = self.clock()
             if job.trace_id:
                 job.tracer = Tracer()
@@ -215,7 +220,7 @@ class SweepService:
             self._order.append(job_id)
             self._journal.record("submit", job_id=job_id, tenant=tenant,
                                  priority=float(priority),
-                                 trace_id=job.trace_id,
+                                 trace_id=job.trace_id, kind=job.kind,
                                  configs=[c.to_dict() for c in configs])
             self.scheduler.push(job_id, float(priority), self.clock())
             self.telemetry.record_submit(tenant)

@@ -55,6 +55,10 @@ class Job:
     priority: float
     configs: tuple[RunConfig, ...]
     status: str = QUEUED
+    #: workload kind: ``sweep`` (plain submission) or ``autotune`` (a
+    #: candidate-timing plan submitted by ``repro autotune``); journaled
+    #: so the label survives restart.
+    kind: str = "sweep"
     #: cfg key -> result digest, completed so far.
     completed: dict = field(default_factory=dict)
     #: cfg key -> provenance: ``computed`` (simulated in this job),
@@ -96,6 +100,7 @@ class Job:
             "job_id": self.job_id,
             "tenant": self.tenant,
             "priority": self.priority,
+            "kind": self.kind,
             "status": self.status,
             "total": self.total,
             "completed": len(self.completed),
@@ -183,6 +188,7 @@ def replay_service_journal(path: str | os.PathLike) -> Optional[ServiceState]:
                       tenant=rec.get("tenant", "default"),
                       priority=float(rec.get("priority", 0)),
                       configs=configs,
+                      kind=str(rec.get("kind", "sweep") or "sweep"),
                       trace_id=str(rec.get("trace_id", "") or ""))
             state.jobs[job.job_id] = job
             state.order.append(job.job_id)

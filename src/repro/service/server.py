@@ -9,7 +9,8 @@ except ``stream``, which keeps the connection open and receives one
 Requests (``op`` selects the verb)::
 
     {"op": "submit", "configs": [RunConfig.to_dict(), ...],
-     "tenant": "alice", "priority": 1, "trace_id": "8f3a..."}
+     "tenant": "alice", "priority": 1, "trace_id": "8f3a...",
+     "kind": "sweep"}
     {"op": "poll",   "job_id": "j00001"}
     {"op": "stream", "job_id": "j00001"}
     {"op": "jobs"}
@@ -120,7 +121,8 @@ class SweepServer:
             self._send(handler, svc.submit(
                 configs, tenant=str(req.get("tenant", "default")),
                 priority=float(req.get("priority", 0)),
-                trace_id=str(req.get("trace_id", "") or "")))
+                trace_id=str(req.get("trace_id", "") or ""),
+                kind=str(req.get("kind", "sweep") or "sweep")))
         elif op == "poll":
             self._send(handler, svc.poll(str(req.get("job_id", ""))))
         elif op == "jobs":

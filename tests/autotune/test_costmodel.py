@@ -1,0 +1,110 @@
+"""The static cost model: prune reasons and deterministic predictions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.autotune.costmodel import (
+    ScheduleCostModel,
+    base_names,
+    canonical_form,
+    strip_size,
+)
+from repro.autotune.space import enumerate_candidates
+from repro.machine.machines import MACHINES, get_machine
+
+VEC1 = ("const-trip-count", "loop-interchange", "loop-fission")
+
+
+def _model(machine="riscv_vec", vs=240):
+    return ScheduleCostModel(params=get_machine(machine), vector_size=vs)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def test_base_names_strip_arguments():
+    assert base_names(("strip-mine:40", "loop-fission")) == (
+        "strip-mine", "loop-fission")
+
+
+def test_strip_size_parses_argument():
+    assert strip_size(("const-trip-count", "strip-mine:80")) == 80
+    assert strip_size(("strip-mine",)) == 40  # pass default
+    assert strip_size(VEC1) is None
+
+
+def test_canonical_form_sorts_commuting_passes():
+    assert canonical_form(("loop-fission", "const-trip-count")) == (
+        "const-trip-count", "loop-fission")
+
+
+# ---------------------------------------------------------------------------
+# prune reasons
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_schedules_survive():
+    m = _model()
+    for sched in ((), ("const-trip-count",), VEC1,
+                  ("const-trip-count", "loop-interchange",
+                   "loop-fission", "strip-mine:40")):
+        assert m.prune_reason(sched) is None, sched
+
+
+def test_non_canonical_order_pruned():
+    m = _model()
+    reason = m.prune_reason(("loop-fission", "const-trip-count"))
+    assert reason is not None and "non-canonical" in reason
+
+
+def test_strip_without_const_trip_count_pruned():
+    reason = _model().prune_reason(("strip-mine:40",))
+    assert reason is not None and "T5-runtime-trip-count" in reason
+
+
+def test_indivisible_strip_pruned():
+    reason = _model().prune_reason(("const-trip-count", "strip-mine:7"))
+    assert reason is not None and "T5-indivisible" in reason
+
+
+def test_oversized_strip_pruned():
+    # usable VL on riscv_vec at vs=240 is 240; a strip that big is the
+    # hardware's own behaviour, not a new schedule.
+    reason = _model().prune_reason(("const-trip-count", "strip-mine:240"))
+    assert reason is not None
+
+
+def test_pruning_is_deterministic():
+    m = _model()
+    for sched in enumerate_candidates(get_machine("riscv_vec"), 240,
+                                      "standard"):
+        assert m.prune_reason(sched) == m.prune_reason(sched)
+
+
+# ---------------------------------------------------------------------------
+# predictions
+# ---------------------------------------------------------------------------
+
+
+def test_predict_prefers_vec1_over_baseline():
+    m = _model()
+    assert m.predict(VEC1) < m.predict(())
+
+
+def test_predict_charges_strip_overhead():
+    m = _model()
+    assert (m.predict(VEC1 + ("strip-mine:40",)) > m.predict(VEC1))
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine=st.sampled_from(sorted(MACHINES)),
+       vs=st.sampled_from((8, 40, 80, 240, 480)))
+def test_predict_is_total_and_deterministic(machine, vs):
+    """Every enumerated candidate gets a finite, repeatable score --
+    the report records predictions for pruned candidates too."""
+    m = ScheduleCostModel(params=get_machine(machine), vector_size=vs)
+    for sched in enumerate_candidates(get_machine(machine), vs, "standard"):
+        a, b = m.predict(sched), m.predict(sched)
+        assert a == b
+        assert a == a  # not NaN

@@ -1,0 +1,134 @@
+"""Candidate enumeration: every schedule legal, profiles, strip family."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autotune.space import (
+    PROFILES,
+    enumerate_candidates,
+    schedule_label,
+    strip_sizes,
+)
+from repro.compiler.transforms import (
+    PASS_REGISTRY,
+    legal_schedules,
+    pipeline_from_names,
+)
+from repro.machine.machines import MACHINES, get_machine
+
+_MACHINE_NAMES = sorted(MACHINES)
+
+
+# ---------------------------------------------------------------------------
+# strip sizes
+# ---------------------------------------------------------------------------
+
+
+def test_riscv_vec_strip_family_is_mod_40():
+    params = get_machine("riscv_vec")
+    sizes = strip_sizes(params, 240, "standard")
+    assert sizes == (40, 80, 120, 160, 200)
+    assert all(s % 40 == 0 for s in sizes)
+
+
+def test_smoke_profile_keeps_one_size():
+    params = get_machine("riscv_vec")
+    assert strip_sizes(params, 240, "smoke") == (40,)
+
+
+def test_short_vector_machine_has_no_strip_family():
+    # mn4_avx512's usable vector length equals its lane basis: no room
+    # to strip below it.
+    params = get_machine("mn4_avx512")
+    assert strip_sizes(params, 240, "standard") == ()
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="profile"):
+        strip_sizes(get_machine("riscv_vec"), 240, "exhaustive")
+
+
+# ---------------------------------------------------------------------------
+# enumeration
+# ---------------------------------------------------------------------------
+
+
+def test_base_schedules_are_the_frozen_nine():
+    params = get_machine("mn4_avx512")  # no strip family -> bases only
+    cands = enumerate_candidates(params, 240, "standard")
+    assert cands == legal_schedules()
+    assert len(cands) == 9
+
+
+def test_strip_variants_extend_every_base():
+    params = get_machine("riscv_vec")
+    cands = enumerate_candidates(params, 240, "smoke")
+    bases = legal_schedules()
+    assert len(cands) == len(bases) * 2  # each base +- one strip size
+    for base in bases:
+        assert base in cands
+        assert base + ("strip-mine:40",) in cands
+
+
+def test_enumeration_is_deterministic():
+    params = get_machine("riscv_vec")
+    a = enumerate_candidates(params, 240, "standard")
+    b = enumerate_candidates(params, 240, "standard")
+    assert a == b
+
+
+def test_schedule_label():
+    assert schedule_label(()) == "baseline"
+    assert schedule_label(("a", "b")) == "a+b"
+
+
+# ---------------------------------------------------------------------------
+# property: every enumerated schedule is constructible and ordered
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(machine=st.sampled_from(_MACHINE_NAMES),
+       vector_size=st.integers(min_value=8, max_value=480),
+       profile=st.sampled_from(PROFILES))
+def test_every_candidate_builds_a_legal_pipeline(machine, vector_size,
+                                                 profile):
+    """Pass ``requires`` ordering + spelling legality, over the whole
+    machine x vector-size x profile space: ``pipeline_from_names`` must
+    accept every enumerated schedule (it raises on unknown spellings and
+    on requires-order violations)."""
+    params = get_machine(machine)
+    for schedule in enumerate_candidates(params, vector_size, profile):
+        pipe = pipeline_from_names(schedule)  # raises on any illegality
+        assert pipe.pass_names == schedule
+        seen = []
+        for p in pipe:
+            for req in type(p).requires:
+                assert req.name in seen, (
+                    f"{schedule}: '{p.name}' before its requirement "
+                    f"'{req.name}'")
+            seen.append(p.name)
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine=st.sampled_from(_MACHINE_NAMES),
+       vector_size=st.integers(min_value=8, max_value=480),
+       profile=st.sampled_from(PROFILES))
+def test_strip_sizes_divide_and_fit(machine, vector_size, profile):
+    params = get_machine(machine)
+    sizes = strip_sizes(params, vector_size, profile)
+    assert sorted(set(sizes)) == list(sizes)  # ascending, no duplicates
+    for s in sizes:
+        assert 2 <= s < min(vector_size,
+                            params.vpu.vl_max if params.vpu else s + 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(names=st.lists(st.sampled_from(sorted(
+           n for n, cls in PASS_REGISTRY.items() if not cls.parameterized)),
+       unique=True, max_size=3))
+def test_legal_schedules_respect_requires(names):
+    """Explicitly-named enumeration never emits an unconstructible
+    permutation either."""
+    for schedule in legal_schedules(names):
+        pipeline_from_names(schedule)

@@ -1,0 +1,167 @@
+"""StripMine: legality blockers, the rewrite, and digest round-trips."""
+
+import pytest
+
+from repro.cfd.csr import build_pattern
+from repro.cfd.kernel_context import MiniAppContext
+from repro.cfd.mesh import box_mesh
+from repro.cfd.phases import build_baseline_kernels
+from repro.compiler.ir import walk_loops
+from repro.compiler.transforms import (
+    ConstantTripCount,
+    PipelineError,
+    StripMine,
+    pipeline_from_names,
+)
+from repro.validation.digests import (
+    phase_output_digests,
+    solver_phase_digests,
+)
+from repro.validation.probe import Probe
+
+VS = 16
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    mesh = box_mesh(4, 4, 4)
+    ctx = MiniAppContext(mesh, VS, nnz=build_pattern(mesh).nnz)
+    return {k.phase: k for k in build_baseline_kernels(ctx.arrays, VS)}
+
+
+@pytest.fixture(scope="module")
+def promoted(kernels):
+    """Phase-2 kernel after const-trip-count: compile-time ivect trips."""
+    out, remark = ConstantTripCount().run(kernels[2])
+    assert remark.status == "applied"
+    return out
+
+
+# ---------------------------------------------------------------------------
+# construction + spelling
+# ---------------------------------------------------------------------------
+
+
+def test_strip_must_be_at_least_two():
+    with pytest.raises(PipelineError, match="strip"):
+        StripMine(strip=1)
+
+
+def test_spelling_round_trip():
+    p = StripMine(strip=40)
+    assert p.spelling == "strip-mine:40"
+    assert StripMine.parse_spelling_arg("40") == {"strip": 40}
+
+
+def test_parse_spelling_rejects_garbage():
+    with pytest.raises(PipelineError):
+        StripMine.parse_spelling_arg("forty")
+    with pytest.raises(PipelineError):
+        StripMine.parse_spelling_arg("-3")
+
+
+def test_pipeline_from_names_builds_parameterized_pass():
+    pipe = pipeline_from_names(("const-trip-count", "strip-mine:8"))
+    assert pipe.pass_names == ("const-trip-count", "strip-mine:8")
+    assert pipe.passes[1].strip == 8
+
+
+def test_unparameterized_pass_rejects_argument():
+    with pytest.raises(PipelineError, match="takes no"):
+        pipeline_from_names(("loop-fission:4",))
+
+
+# ---------------------------------------------------------------------------
+# legality blockers
+# ---------------------------------------------------------------------------
+
+
+def _codes(remark):
+    return {b.code for b in remark.blockers}
+
+
+def test_runtime_trip_count_is_illegal(kernels):
+    out, remark = StripMine(strip=8).run(kernels[2])
+    assert remark.status == "illegal"
+    assert "T5-runtime-trip-count" in _codes(remark)
+    assert out == kernels[2]
+
+
+def test_indivisible_strip_is_illegal(promoted):
+    out, remark = StripMine(strip=5).run(promoted)
+    assert remark.status == "illegal"
+    assert "T5-indivisible" in _codes(remark)
+    assert out == promoted
+
+
+def test_strip_covering_whole_trip_is_noop(promoted):
+    _, remark = StripMine(strip=VS).run(promoted)
+    assert remark.status == "not-applicable"
+
+
+def test_double_application_is_illegal(promoted):
+    once, remark = StripMine(strip=8).run(promoted)
+    assert remark.status == "applied"
+    # same strip again: the vector loop is already <= the strip -> no-op.
+    _, same = StripMine(strip=8).run(once)
+    assert same.status == "not-applicable"
+    # a finer strip would shadow the existing strip variable -> illegal.
+    again, remark2 = StripMine(strip=4).run(once)
+    assert remark2.status == "illegal"
+    assert "T5-already-stripped" in _codes(remark2)
+    assert again == once
+
+
+# ---------------------------------------------------------------------------
+# the rewrite
+# ---------------------------------------------------------------------------
+
+
+def test_rewrite_shape(promoted):
+    out, remark = StripMine(strip=8).run(promoted)
+    assert remark.status == "applied"
+    loops = {lp.var: lp for lp in walk_loops(out.body)}
+    assert "ivect_strip" in loops
+    outer, inner = loops["ivect_strip"], loops["ivect"]
+    assert outer.extent.value == VS // 8
+    assert inner.extent.value == 8
+    # the strip loop wraps the vector loop directly.
+    assert len(outer.body) == 1 and outer.body[0] is inner
+
+
+def test_rewrite_preserves_vectorized_flag(promoted):
+    before = {lp.var: lp.vectorized for lp in walk_loops(promoted.body)}
+    out, _ = StripMine(strip=8).run(promoted)
+    after = {lp.var: lp.vectorized for lp in walk_loops(out.body)}
+    assert after["ivect"] == before["ivect"]
+
+
+# ---------------------------------------------------------------------------
+# digest round-trips: assembly ladder AND solver phases 9-12
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("schedule", [
+    ("const-trip-count", "strip-mine:4"),
+    ("const-trip-count", "loop-interchange", "strip-mine:4"),
+    ("const-trip-count", "loop-interchange", "loop-fission",
+     "strip-mine:4"),
+])
+def test_digest_ladder_round_trip(schedule):
+    """Strip-mined code must be bit-identical on every rung of the
+    ladder -- the assembly phases and the Krylov solver phases 9-12."""
+    honest = Probe(opt="vanilla", backend="numpy")
+    probe = Probe(opt="vanilla", backend="numpy", passes=schedule)
+    assert phase_output_digests(probe) == phase_output_digests(honest)
+    assert solver_phase_digests(probe) == solver_phase_digests(honest)
+
+
+def test_digest_probe_actually_strips():
+    """The round-trip above is only meaningful if the pass fired: at the
+    probe's VECTOR_SIZE=8 a strip of 4 must be applied, not a no-op."""
+    probe = Probe(opt="vanilla", backend="numpy",
+                  passes=("const-trip-count", "strip-mine:4"))
+    app = probe.build_app()
+    applied = [r for r in app.transform_remarks
+               if r.pass_name == "strip-mine" and r.status == "applied"]
+    assert applied, "strip-mine:4 never applied at the probe vector size"

@@ -2,7 +2,6 @@
 arbitrary (small) meshes, VECTOR_SIZEs and field seeds."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.cfd.assembly import MiniApp

@@ -1,9 +1,7 @@
 """Tests for the vectorization legality rules (R1-R5)."""
 
-import pytest
-
 from repro.compiler.analysis import body_is_pure_copy, check_loop, refs_in_expr
-from repro.compiler.flags import PAPER_FLAGS, CompilerFlags
+from repro.compiler.flags import PAPER_FLAGS
 from repro.compiler.ir import (
     Array,
     Assign,

@@ -20,7 +20,6 @@ from repro.compiler.ir import (
     const_idx,
     var,
 )
-from repro.compiler.program import ScalarBlock, VectorBlock
 from repro.compiler.vectorizer import vectorize_kernel
 from repro.isa.instructions import MemPattern, ScalarOp
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.compiler.interpreter import Interpreter, run_kernel
+from repro.compiler.interpreter import run_kernel
 from repro.compiler.ir import (
     Array,
     Assign,

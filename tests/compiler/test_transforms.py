@@ -151,7 +151,7 @@ def test_opt_for_passes_roundtrip():
 
 def test_registry_names_match_classes():
     assert set(PASS_REGISTRY) == {"const-trip-count", "loop-interchange",
-                                  "loop-fission"}
+                                  "loop-fission", "strip-mine"}
     for name, cls in PASS_REGISTRY.items():
         assert cls.name == name
 

@@ -1,6 +1,5 @@
 """Tests for the vectorizer: cost model, decisions, remarks."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler.flags import PAPER_FLAGS, SCALAR_FLAGS

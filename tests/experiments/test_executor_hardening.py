@@ -5,8 +5,6 @@ import json
 from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 
-import pytest
-
 import repro.experiments.executor as ex
 from repro.experiments.config import TINY_MESH, RunConfig
 from repro.experiments.executor import (

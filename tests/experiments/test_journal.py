@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.experiments.config import TINY_MESH, RunConfig
+from repro.experiments.config import TINY_MESH
 from repro.experiments.executor import ExecutionPlan, execute_plan, simulate_to_dict
 from repro.experiments.journal import (
     SweepJournal,

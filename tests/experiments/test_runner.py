@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.experiments.config import QUICK_MESH, RunConfig
+from repro.experiments.config import RunConfig
 from repro.experiments.runner import (
     Session,
     counters_from_dict,

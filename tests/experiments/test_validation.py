@@ -4,7 +4,6 @@ and their integration with ``execute_plan(validate=True)``."""
 from collections import Counter
 
 import numpy as np
-import pytest
 
 from repro.experiments.config import TINY_MESH, RunConfig
 from repro.experiments.executor import (

@@ -75,7 +75,7 @@ def test_mislegalized_interchange_vectorizes_past_the_guard():
 
 
 def test_mislegalized_fission_splits_at_the_first_guard():
-    from repro.compiler.ir import If, walk_loops
+    from repro.compiler.ir import walk_loops
 
     kernels = _rung_kernels("vec1")
     bad = mislegalize_fission(kernels)

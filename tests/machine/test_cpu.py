@@ -1,6 +1,5 @@
 """Tests for the machine executor on hand-built blocks."""
 
-import numpy as np
 import pytest
 
 from repro.compiler.ir import Array, Ref, var

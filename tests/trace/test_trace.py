@@ -1,6 +1,5 @@
 """Tests for the tracing toolchain: tracer, Paraver export, analysis."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
